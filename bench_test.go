@@ -1,0 +1,294 @@
+package blaeu
+
+// Benchmark harness: one testing.B benchmark per figure, demonstration
+// scenario and performance claim of the paper (the demo paper has no
+// numeric tables; its "evaluation" is Figures 1–4, the three §4.2
+// scenarios, and the §3 performance claims — see DESIGN.md §4).
+// Run with: go test -bench=. -benchmem
+//
+// The figure-level benchmarks execute the same runners as the blaeu-bench
+// command at reduced scale so a full -bench=. pass stays in minutes; the
+// micro-benchmarks below time the individual algorithms at fixed sizes.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/prep"
+	"repro/internal/stats"
+	"repro/internal/store"
+	"repro/internal/tree"
+)
+
+func benchExperiment(b *testing.B, id string, scale float64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, experiments.Config{Seed: 1, Scale: scale}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure reproductions ---
+
+func BenchmarkF1aThemes(b *testing.B)         { benchExperiment(b, "f1a", 0.25) }
+func BenchmarkF1bMap(b *testing.B)            { benchExperiment(b, "f1b", 0.25) }
+func BenchmarkF1cZoom(b *testing.B)           { benchExperiment(b, "f1c", 0.25) }
+func BenchmarkF1dProject(b *testing.B)        { benchExperiment(b, "f1d", 0.25) }
+func BenchmarkF2DependencyGraph(b *testing.B) { benchExperiment(b, "f2", 0.5) }
+func BenchmarkF3Pipeline(b *testing.B)        { benchExperiment(b, "f3", 0.25) }
+func BenchmarkF4Architecture(b *testing.B)    { benchExperiment(b, "f4", 0.5) }
+
+// --- Demonstration scenarios (§4.2) ---
+
+func BenchmarkS1Hollywood(b *testing.B) { benchExperiment(b, "s1", 1) }
+func BenchmarkS2Countries(b *testing.B) { benchExperiment(b, "s2", 0.25) }
+func BenchmarkS3LOFAR(b *testing.B)     { benchExperiment(b, "s3", 0.1) }
+
+// --- Performance claims (§3) ---
+
+func BenchmarkE1Sampling(b *testing.B)     { benchExperiment(b, "e1", 0.1) }
+func BenchmarkE2ClaraVsPam(b *testing.B)   { benchExperiment(b, "e2", 0.25) }
+func BenchmarkE3MCSilhouette(b *testing.B) { benchExperiment(b, "e3", 0.25) }
+func BenchmarkE4AutoK(b *testing.B)        { benchExperiment(b, "e4", 0.5) }
+
+// --- Ablations ---
+
+func BenchmarkA1MIvsCorr(b *testing.B)    { benchExperiment(b, "a1", 0.5) }
+func BenchmarkA2TreeDepth(b *testing.B)   { benchExperiment(b, "a2", 0.25) }
+func BenchmarkA3Shapes(b *testing.B)      { benchExperiment(b, "a3", 0.5) }
+func BenchmarkA4DepSampling(b *testing.B) { benchExperiment(b, "a4", 0.25) }
+
+// --- Micro-benchmarks: the algorithms under the maps ---
+
+func benchVectors(n, dims, k int) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(9))
+	ds := datagen.PlantedBlobs(datagen.BlobSpec{N: n, K: k, Dims: dims, Sep: 6}, rng)
+	_, vecs, err := prep.FitTransform(ds.Table, nil, prep.NewOptions())
+	if err != nil {
+		panic(err)
+	}
+	return vecs, ds.Truth["rows"]
+}
+
+func BenchmarkPAM(b *testing.B) {
+	for _, n := range []int{200, 500, 1000} {
+		vecs, _ := benchVectors(n, 6, 4)
+		m := cluster.ComputeDistMatrix(vecs, stats.Euclidean{})
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.PAM(m, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCLARA(b *testing.B) {
+	for _, n := range []int{1000, 10000, 50000} {
+		vecs, _ := benchVectors(n, 6, 4)
+		o := &cluster.VectorOracle{Vecs: vecs, Metric: stats.Euclidean{}}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.CLARA(o, 4, cluster.CLARAOptions{Rand: rng}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDBSCAN(b *testing.B) {
+	for _, n := range []int{500, 2000} {
+		vecs, _ := benchVectors(n, 4, 3)
+		m := cluster.ComputeDistMatrix(vecs, stats.Euclidean{})
+		eps := cluster.EstimateEps(m, 5, 0.9)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.DBSCAN(m, cluster.DBSCANOptions{Eps: eps, MinPts: 5}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAgglomerative(b *testing.B) {
+	for _, n := range []int{200, 600} {
+		vecs, _ := benchVectors(n, 4, 3)
+		m := cluster.ComputeDistMatrix(vecs, stats.Euclidean{})
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.Agglomerative(m, 3, cluster.AverageLinkage); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSQLExecute(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	ds := datagen.LOFAR(datagen.LOFAROptions{N: 50000}, rng)
+	cat := store.MapCatalog{"lofar": ds.Table}
+	query := "SELECT SourceID, TotalFlux FROM lofar WHERE SNR >= 20 AND AxisRatio < 2 ORDER BY TotalFlux DESC LIMIT 100"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.RunSQL(query, cat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSilhouetteExact(b *testing.B) {
+	for _, n := range []int{1000, 4000} {
+		vecs, labels := benchVectors(n, 6, 3)
+		o := &cluster.VectorOracle{Vecs: vecs, Metric: stats.Euclidean{}}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cluster.Silhouette(o, labels, 3)
+			}
+		})
+	}
+}
+
+func BenchmarkSilhouetteMC(b *testing.B) {
+	for _, n := range []int{1000, 4000, 20000} {
+		vecs, labels := benchVectors(n, 6, 3)
+		o := &cluster.VectorOracle{Vecs: vecs, Metric: stats.Euclidean{}}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < b.N; i++ {
+				cluster.MCSilhouette(o, labels, 3, cluster.MCSilhouetteOptions{Rand: rng})
+			}
+		})
+	}
+}
+
+func BenchmarkMutualInformation(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	n := 10000
+	x := make([]int, n)
+	y := make([]int, n)
+	for i := range x {
+		x[i] = rng.Intn(10)
+		y[i] = (x[i] + rng.Intn(3)) % 10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.NormalizedMI(x, y)
+	}
+}
+
+func BenchmarkDependencyGraph(b *testing.B) {
+	for _, cols := range []int{20, 50} {
+		rng := rand.New(rand.NewSource(9))
+		specs := make([]datagen.ThemeSpec, 4)
+		for i := range specs {
+			specs[i] = datagen.ThemeSpec{Name: fmt.Sprintf("t%d", i), Cols: cols / 4, K: 2}
+		}
+		ds := datagen.PlantedThemes(2000, specs, rng)
+		b.Run(fmt.Sprintf("cols=%d", cols), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := graph.BuildDependencyGraph(ds.Table, nil, graph.DependencyOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCARTFit(b *testing.B) {
+	for _, n := range []int{1000, 5000} {
+		rng := rand.New(rand.NewSource(9))
+		ds := datagen.PlantedBlobs(datagen.BlobSpec{N: n, K: 4, Dims: 6, Sep: 6}, rng)
+		labels := ds.Truth["rows"]
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tree.Fit(ds.Table, ds.Table.ColumnNames(), labels, 4,
+					tree.Options{MaxDepth: 3, MinLeaf: 8}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPreprocess(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	ds := datagen.Hollywood(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := prep.FitTransform(ds.Table, nil, prep.NewOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMapBuild times one full mapping-pipeline pass (the latency of a
+// theme selection or zoom) at the paper's interactive sampling budget.
+func BenchmarkMapBuild(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		rng := rand.New(rand.NewSource(9))
+		ds := datagen.PlantedBlobs(datagen.BlobSpec{N: n, K: 4, Dims: 8, Sep: 6}, rng)
+		e, err := core.NewExplorer(ds.Table, core.Options{
+			Seed: 1, SampleSize: 2000, DependencySampleRows: 500,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		id, err := e.AddTheme(ds.Table.ColumnNames())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.SelectTheme(id); err != nil {
+					b.Fatal(err)
+				}
+				if err := e.Rollback(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkZoom times the zoom action end to end (region row gather +
+// fresh map) at scale.
+func BenchmarkZoom(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	ds := datagen.PlantedBlobs(datagen.BlobSpec{N: 100000, K: 4, Dims: 8, Sep: 6}, rng)
+	e, err := core.NewExplorer(ds.Table, core.Options{
+		Seed: 1, SampleSize: 2000, DependencySampleRows: 500,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	id, err := e.AddTheme(ds.Table.ColumnNames())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := e.SelectTheme(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := m.Root.Leaves()[0].Path
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Zoom(path...); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Rollback(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

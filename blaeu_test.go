@@ -1,0 +1,73 @@
+package blaeu
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// TestPublicAPIFlow exercises the documented quickstart end to end through
+// the facade only.
+func TestPublicAPIFlow(t *testing.T) {
+	ds := datagen.Hollywood(rand.New(rand.NewSource(1)))
+	ex, err := Open(ds.Table, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	themes := ex.Themes()
+	if len(themes) == 0 {
+		t.Fatal("no themes")
+	}
+	if !strings.Contains(ThemeList(themes), "cohesion") {
+		t.Error("theme list render broken")
+	}
+	m, err := ex.SelectTheme(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := ASCIIMap(m, 78, 16); !strings.Contains(out, "cluster") {
+		t.Error("ascii map render broken")
+	}
+	if svg := SVGMap(m, 400, 300); !strings.HasPrefix(svg, "<svg") {
+		t.Error("svg render broken")
+	}
+	if _, err := ex.Zoom(m.Root.Leaves()[0].Path...); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ex.Highlight("Genre")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.SampleValues) == 0 {
+		t.Error("highlight empty")
+	}
+	hd, err := ex.RegionHistogram("Budget", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ASCIIHistogram(hd, 30), "Budget") {
+		t.Error("histogram render broken")
+	}
+	if err := ex.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex.Query(), "SELECT") {
+		t.Errorf("query = %q", ex.Query())
+	}
+}
+
+func TestCSVThroughFacade(t *testing.T) {
+	csv := "x,y,label\n1,2,a\n3,4,b\n5,6,a\n"
+	tab, err := ReadCSV(strings.NewReader(csv), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 3 || tab.NumCols() != 3 {
+		t.Fatal("csv parse wrong")
+	}
+	if NewTable("t").NumRows() != 0 {
+		t.Error("new table should be empty")
+	}
+}

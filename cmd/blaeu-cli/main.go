@@ -1,0 +1,66 @@
+// Command blaeu-cli is a terminal Blaeu explorer: the keyboard-free demo
+// of the paper, reduced to a REPL. It opens a CSV file (or a built-in
+// synthetic demo dataset) and drives the theme view and map view with the
+// navigational actions. Type "help" inside the REPL for the command list.
+//
+// Usage:
+//
+//	blaeu-cli [-seed 1] [-sample 2000] (-demo hollywood|countries|lofar | file.csv)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/store"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed")
+	sample := flag.Int("sample", 2000, "multi-scale sampling budget")
+	demo := flag.String("demo", "", "built-in dataset: hollywood, countries or lofar")
+	lofarN := flag.Int("lofar-n", 50000, "rows for the lofar demo")
+	flag.Parse()
+
+	var t *store.Table
+	switch {
+	case *demo != "":
+		rng := rand.New(rand.NewSource(*seed))
+		switch *demo {
+		case "hollywood":
+			t = datagen.Hollywood(rng).Table
+		case "countries":
+			t = datagen.Countries(rng).Table
+		case "lofar":
+			t = datagen.LOFAR(datagen.LOFAROptions{N: *lofarN}, rng).Table
+		default:
+			fatal("unknown demo %q (have hollywood, countries, lofar)", *demo)
+		}
+	case flag.NArg() == 1:
+		var err error
+		t, err = store.ReadCSVFile(flag.Arg(0), nil)
+		if err != nil {
+			fatal("loading CSV: %v", err)
+		}
+	default:
+		fatal("usage: blaeu-cli (-demo name | file.csv)")
+	}
+
+	fmt.Printf("Loaded %s: %d rows × %d columns. Detecting themes...\n",
+		t.Name(), t.NumRows(), t.NumCols())
+	e, err := core.NewExplorer(t, core.Options{Seed: *seed, SampleSize: *sample})
+	if err != nil {
+		fatal("%v", err)
+	}
+	cli.New(e, os.Stdin, os.Stdout).Run()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

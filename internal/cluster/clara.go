@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/store"
+)
+
+// CLARAOptions tunes the CLARA run.
+type CLARAOptions struct {
+	// Samples is the number of random sub-samples to cluster
+	// (Kaufman & Rousseeuw recommend 5).
+	Samples int
+	// SampleSize is the size of each sub-sample; the classic heuristic is
+	// 40 + 2k.
+	SampleSize int
+	// Rand is the randomness source (required).
+	Rand *rand.Rand
+}
+
+func (o *CLARAOptions) defaults(k int) {
+	if o.Samples <= 0 {
+		o.Samples = 5
+	}
+	if o.SampleSize <= 0 {
+		o.SampleSize = 40 + 2*k
+	}
+}
+
+// CLARA is the sampling-based variant of PAM for large data (Kaufman &
+// Rousseeuw 1990): it draws several random sub-samples, runs PAM on each,
+// extends each sample's medoids to the full dataset, and keeps the
+// medoid set with the lowest full-data cost. Blaeu switches to CLARA
+// "when the data is too large" (paper §3) to keep map construction
+// interactive.
+func CLARA(o Oracle, k int, opts CLARAOptions) (*Clustering, error) {
+	n := o.N()
+	if opts.Rand == nil {
+		return nil, fmt.Errorf("cluster: CLARA requires a random source")
+	}
+	opts.defaults(k)
+	if n <= opts.SampleSize || n <= k {
+		c, err := PAM(o, k)
+		return c, err
+	}
+
+	var best *Clustering
+	for s := 0; s < opts.Samples; s++ {
+		idx := store.SampleIndices(n, opts.SampleSize, opts.Rand)
+		// Always include the current best medoids in later samples, as in
+		// the original algorithm, so quality is monotone across samples.
+		if best != nil {
+			idx = mergeSorted(idx, best.Medoids)
+		}
+		sub := &SubsetOracle{Parent: o, Idx: idx}
+		c, err := PAM(sub, k)
+		if err != nil {
+			return nil, err
+		}
+		medoids := make([]int, len(c.Medoids))
+		for i, m := range c.Medoids {
+			medoids[i] = idx[m]
+		}
+		labels, cost := AssignToMedoids(o, medoids)
+		if best == nil || cost < best.Cost {
+			best = &Clustering{K: k, Labels: labels, Medoids: medoids, Cost: cost, Silhouette: math.NaN()}
+		}
+	}
+	return best, nil
+}
+
+func mergeSorted(sorted []int, extra []int) []int {
+	present := make(map[int]bool, len(sorted))
+	for _, v := range sorted {
+		present[v] = true
+	}
+	out := sorted
+	for _, v := range extra {
+		if !present[v] {
+			out = append(out, v)
+			present[v] = true
+		}
+	}
+	return out
+}

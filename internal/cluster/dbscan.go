@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DBSCANOptions tunes density-based clustering.
+type DBSCANOptions struct {
+	// Eps is the neighborhood radius.
+	Eps float64
+	// MinPts is the minimum neighborhood size (including the point
+	// itself) for a core point.
+	MinPts int
+}
+
+// NoiseLabel marks points DBSCAN classifies as noise.
+const NoiseLabel = -1
+
+// DBSCAN is a density-based detector (Ester et al. 1996). The paper's
+// second requirement for map construction is that the detector "must be
+// able to detect arbitrarily shaped clusters" (§3) — exactly the regime
+// where k-medoid methods fail; the experiment harness uses DBSCAN as the
+// shape-robust comparator (ablation A3). Points in no dense region get
+// NoiseLabel (-1). Runs in O(n²) distance evaluations.
+func DBSCAN(o Oracle, opts DBSCANOptions) (*Clustering, error) {
+	if opts.Eps <= 0 {
+		return nil, fmt.Errorf("cluster: DBSCAN needs Eps > 0")
+	}
+	if opts.MinPts < 1 {
+		return nil, fmt.Errorf("cluster: DBSCAN needs MinPts >= 1")
+	}
+	n := o.N()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = NoiseLabel - 1 // unvisited
+	}
+	neighbors := func(p int) []int {
+		var out []int
+		for q := 0; q < n; q++ {
+			if q != p && o.Dist(p, q) <= opts.Eps {
+				out = append(out, q)
+			}
+		}
+		return out
+	}
+	next := 0
+	for p := 0; p < n; p++ {
+		if labels[p] != NoiseLabel-1 {
+			continue
+		}
+		nb := neighbors(p)
+		if len(nb)+1 < opts.MinPts {
+			labels[p] = NoiseLabel
+			continue
+		}
+		c := next
+		next++
+		labels[p] = c
+		// Expand the cluster with a seed queue.
+		queue := append([]int(nil), nb...)
+		for len(queue) > 0 {
+			q := queue[0]
+			queue = queue[1:]
+			if labels[q] == NoiseLabel {
+				labels[q] = c // border point
+			}
+			if labels[q] != NoiseLabel-1 {
+				continue
+			}
+			labels[q] = c
+			qnb := neighbors(q)
+			if len(qnb)+1 >= opts.MinPts {
+				queue = append(queue, qnb...)
+			}
+		}
+	}
+	return &Clustering{K: next, Labels: labels, Silhouette: math.NaN()}, nil
+}
+
+// EstimateEps suggests an eps for DBSCAN as the given quantile of each
+// point's distance to its MinPts-th nearest neighbor — the standard
+// k-distance heuristic.
+func EstimateEps(o Oracle, minPts int, quantile float64) float64 {
+	n := o.N()
+	if n == 0 || minPts < 1 {
+		return 0
+	}
+	kth := make([]float64, 0, n)
+	d := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		d = d[:0]
+		for j := 0; j < n; j++ {
+			if i != j {
+				d = append(d, o.Dist(i, j))
+			}
+		}
+		if len(d) < minPts {
+			continue
+		}
+		// Partial selection of the minPts-th smallest.
+		k := minPts - 1
+		lo, hi := 0, len(d)-1
+		for lo < hi {
+			pivot := d[(lo+hi)/2]
+			i2, j2 := lo, hi
+			for i2 <= j2 {
+				for d[i2] < pivot {
+					i2++
+				}
+				for d[j2] > pivot {
+					j2--
+				}
+				if i2 <= j2 {
+					d[i2], d[j2] = d[j2], d[i2]
+					i2++
+					j2--
+				}
+			}
+			if k <= j2 {
+				hi = j2
+			} else if k >= i2 {
+				lo = i2
+			} else {
+				break
+			}
+		}
+		kth = append(kth, d[k])
+	}
+	if len(kth) == 0 {
+		return 0
+	}
+	// Quantile of the k-distances.
+	sort.Float64s(kth)
+	if quantile <= 0 {
+		return kth[0]
+	}
+	if quantile >= 1 {
+		return kth[len(kth)-1]
+	}
+	return kth[int(quantile*float64(len(kth)-1))]
+}

@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/stats"
+)
+
+// twoMoons generates two interleaved half-circles — the canonical
+// arbitrarily-shaped-cluster workload where centroid methods fail.
+func twoMoons(n int, noise float64, rng *rand.Rand) ([][]float64, []int) {
+	vecs := make([][]float64, 0, n)
+	labels := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		theta := rng.Float64() * math.Pi
+		var x, y float64
+		c := i % 2
+		if c == 0 {
+			x = math.Cos(theta)
+			y = math.Sin(theta)
+		} else {
+			x = 1 - math.Cos(theta)
+			y = 0.5 - math.Sin(theta)
+		}
+		vecs = append(vecs, []float64{x + rng.NormFloat64()*noise, y + rng.NormFloat64()*noise})
+		labels = append(labels, c)
+	}
+	return vecs, labels
+}
+
+func TestDBSCANRecoversMoons(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vecs, truth := twoMoons(600, 0.04, rng)
+	m := ComputeDistMatrix(vecs, stats.Euclidean{})
+	c, err := DBSCAN(m, DBSCANOptions{Eps: 0.18, MinPts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K != 2 {
+		t.Fatalf("DBSCAN found %d clusters, want 2", c.K)
+	}
+	if ari := eval.AdjustedRandIndex(truth, c.Labels); ari < 0.95 {
+		t.Errorf("DBSCAN moons ARI = %.3f", ari)
+	}
+	// PAM cannot separate interleaved moons (the A3 ablation in miniature).
+	p, err := PAM(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari := eval.AdjustedRandIndex(truth, p.Labels); ari > 0.6 {
+		t.Errorf("PAM moons ARI = %.3f, expected to fail on non-convex shapes", ari)
+	}
+}
+
+func TestDBSCANNoise(t *testing.T) {
+	// A tight blob plus far-away isolated points: isolates get NoiseLabel.
+	rng := rand.New(rand.NewSource(2))
+	var vecs [][]float64
+	for i := 0; i < 50; i++ {
+		vecs = append(vecs, []float64{rng.NormFloat64() * 0.1, rng.NormFloat64() * 0.1})
+	}
+	vecs = append(vecs, []float64{100, 100}, []float64{-100, 50}, []float64{40, -70})
+	m := ComputeDistMatrix(vecs, stats.Euclidean{})
+	c, err := DBSCAN(m, DBSCANOptions{Eps: 1, MinPts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K != 1 {
+		t.Fatalf("clusters = %d, want 1", c.K)
+	}
+	for i := 50; i < 53; i++ {
+		if c.Labels[i] != NoiseLabel {
+			t.Errorf("outlier %d labeled %d, want noise", i, c.Labels[i])
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if c.Labels[i] != 0 {
+			t.Errorf("core point %d labeled %d", i, c.Labels[i])
+		}
+	}
+}
+
+func TestDBSCANErrors(t *testing.T) {
+	m := NewDistMatrix(3)
+	if _, err := DBSCAN(m, DBSCANOptions{Eps: 0, MinPts: 3}); err == nil {
+		t.Error("eps=0 should fail")
+	}
+	if _, err := DBSCAN(m, DBSCANOptions{Eps: 1, MinPts: 0}); err == nil {
+		t.Error("minPts=0 should fail")
+	}
+}
+
+func TestDBSCANAllNoise(t *testing.T) {
+	vecs := [][]float64{{0}, {10}, {20}, {30}}
+	m := ComputeDistMatrix(vecs, stats.Euclidean{})
+	c, err := DBSCAN(m, DBSCANOptions{Eps: 1, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K != 0 {
+		t.Errorf("clusters = %d, want 0", c.K)
+	}
+	for _, l := range c.Labels {
+		if l != NoiseLabel {
+			t.Error("all points should be noise")
+		}
+	}
+}
+
+func TestEstimateEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vecs, _ := blobs(rng, 2, 100, 2, 10)
+	m := ComputeDistMatrix(vecs, stats.Euclidean{})
+	eps := EstimateEps(m, 5, 0.9)
+	if eps <= 0 {
+		t.Fatalf("eps = %g", eps)
+	}
+	// The estimated eps should let DBSCAN find the two blobs.
+	c, err := DBSCAN(m, DBSCANOptions{Eps: eps, MinPts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K != 2 {
+		t.Errorf("clusters with estimated eps = %d, want 2", c.K)
+	}
+	if EstimateEps(NewDistMatrix(0), 5, 0.9) != 0 {
+		t.Error("empty estimate should be 0")
+	}
+	lo := EstimateEps(m, 5, 0)
+	hi := EstimateEps(m, 5, 1)
+	if lo > hi {
+		t.Error("quantile ordering violated")
+	}
+}
+
+func TestAgglomerativeRecoversBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vecs, truth := blobs(rng, 3, 40, 3, 10)
+	m := ComputeDistMatrix(vecs, stats.Euclidean{})
+	for _, l := range []Linkage{AverageLinkage, SingleLinkage, CompleteLinkage} {
+		c, err := Agglomerative(m, 3, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.K != 3 {
+			t.Fatalf("%s: K = %d", l, c.K)
+		}
+		if ari := eval.AdjustedRandIndex(truth, c.Labels); ari < 0.9 {
+			t.Errorf("%s linkage ARI = %.3f", l, ari)
+		}
+	}
+}
+
+func TestAgglomerativeSingleLinkageChains(t *testing.T) {
+	// A chain of close points plus a distant blob: single linkage keeps
+	// the chain together even though its ends are far apart.
+	var vecs [][]float64
+	for i := 0; i < 20; i++ {
+		vecs = append(vecs, []float64{float64(i) * 0.5, 0})
+	}
+	for i := 0; i < 10; i++ {
+		vecs = append(vecs, []float64{5, 50})
+	}
+	m := ComputeDistMatrix(vecs, stats.Euclidean{})
+	c, err := Agglomerative(m, 2, SingleLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 20; i++ {
+		if c.Labels[i] != c.Labels[0] {
+			t.Fatal("single linkage split the chain")
+		}
+	}
+	if c.Labels[25] == c.Labels[0] {
+		t.Fatal("blob merged with chain")
+	}
+}
+
+func TestAgglomerativeEdges(t *testing.T) {
+	if _, err := Agglomerative(NewDistMatrix(0), 2, AverageLinkage); err == nil {
+		t.Error("empty should fail")
+	}
+	vecs := [][]float64{{0}, {1}}
+	m := ComputeDistMatrix(vecs, stats.Euclidean{})
+	if _, err := Agglomerative(m, 0, AverageLinkage); err == nil {
+		t.Error("k=0 should fail")
+	}
+	c, err := Agglomerative(m, 5, AverageLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K != 2 {
+		t.Errorf("k capped at n: K = %d", c.K)
+	}
+	c, err = Agglomerative(m, 1, AverageLinkage)
+	if err != nil || c.K != 1 {
+		t.Error("k=1 failed")
+	}
+	if SingleLinkage.String() != "single" || CompleteLinkage.String() != "complete" || AverageLinkage.String() != "average" {
+		t.Error("linkage names wrong")
+	}
+}

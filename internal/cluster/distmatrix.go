@@ -1,0 +1,137 @@
+// Package cluster implements the cluster-analysis algorithms Blaeu relies
+// on: PAM (Partitioning Around Medoids), its sampling variant CLARA, the
+// silhouette coefficient (exact and Monte-Carlo), automatic selection of
+// the number of clusters, and a k-means baseline. PAM and CLARA follow
+// Kaufman & Rousseeuw, "Finding Groups in Data" (1990), the reference the
+// paper cites.
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Oracle answers pairwise-distance queries over n objects. PAM and the
+// silhouette computation are written against this interface so they work
+// identically on raw vectors, precomputed matrices, and dependency graphs.
+type Oracle interface {
+	// N returns the number of objects.
+	N() int
+	// Dist returns the dissimilarity between objects i and j.
+	Dist(i, j int) float64
+}
+
+// DistMatrix is a precomputed symmetric distance matrix stored in condensed
+// (upper-triangle) form: n*(n-1)/2 float64 entries.
+type DistMatrix struct {
+	n    int
+	data []float64
+}
+
+// NewDistMatrix allocates an n×n condensed matrix of zeros.
+func NewDistMatrix(n int) *DistMatrix {
+	return &DistMatrix{n: n, data: make([]float64, n*(n-1)/2)}
+}
+
+// ComputeDistMatrix fills a matrix with pairwise distances of the
+// vectors, spreading rows across CPUs (rows touch disjoint slices of the
+// condensed storage, so no synchronization is needed).
+func ComputeDistMatrix(vecs [][]float64, d stats.Distance) *DistMatrix {
+	n := len(vecs)
+	m := NewDistMatrix(n)
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 128 {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				m.Set(i, j, d.Dist(vecs[i], vecs[j]))
+			}
+		}
+		return m
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				for j := i + 1; j < n; j++ {
+					m.Set(i, j, d.Dist(vecs[i], vecs[j]))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return m
+}
+
+func (m *DistMatrix) idx(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	// Offset of row i in the condensed upper triangle.
+	return i*(2*m.n-i-1)/2 + (j - i - 1)
+}
+
+// N implements Oracle.
+func (m *DistMatrix) N() int { return m.n }
+
+// Dist implements Oracle.
+func (m *DistMatrix) Dist(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return m.data[m.idx(i, j)]
+}
+
+// Set stores the distance between i and j (i != j).
+func (m *DistMatrix) Set(i, j int, v float64) {
+	if i == j {
+		panic(fmt.Sprintf("cluster: Set on diagonal (%d,%d)", i, j))
+	}
+	m.data[m.idx(i, j)] = v
+}
+
+// VectorOracle computes distances between vectors on demand, without
+// materializing the O(n²) matrix; used by CLARA's full-data assignment
+// pass and by Monte-Carlo silhouettes on large selections.
+type VectorOracle struct {
+	Vecs   [][]float64
+	Metric stats.Distance
+}
+
+// N implements Oracle.
+func (o *VectorOracle) N() int { return len(o.Vecs) }
+
+// Dist implements Oracle.
+func (o *VectorOracle) Dist(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return o.Metric.Dist(o.Vecs[i], o.Vecs[j])
+}
+
+// SubsetOracle exposes a subset of another oracle's objects, re-indexed
+// densely. Idx maps local index -> parent index.
+type SubsetOracle struct {
+	Parent Oracle
+	Idx    []int
+}
+
+// N implements Oracle.
+func (o *SubsetOracle) N() int { return len(o.Idx) }
+
+// Dist implements Oracle.
+func (o *SubsetOracle) Dist(i, j int) float64 {
+	return o.Parent.Dist(o.Idx[i], o.Idx[j])
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Linkage selects how agglomerative clustering merges groups.
+type Linkage int
+
+const (
+	// AverageLinkage merges by mean inter-group distance (UPGMA).
+	AverageLinkage Linkage = iota
+	// SingleLinkage merges by minimum inter-group distance.
+	SingleLinkage
+	// CompleteLinkage merges by maximum inter-group distance.
+	CompleteLinkage
+)
+
+// String names the linkage.
+func (l Linkage) String() string {
+	switch l {
+	case SingleLinkage:
+		return "single"
+	case CompleteLinkage:
+		return "complete"
+	default:
+		return "average"
+	}
+}
+
+// Agglomerative runs bottom-up hierarchical clustering to exactly k groups
+// using the Lance–Williams update. It is one of the "dozens [of]
+// clustering algorithms from the literature" the paper weighed before
+// settling on PAM (§3); the benchmark harness uses it as a quality
+// baseline. O(n²) memory, O(n³) worst-case time — small inputs only.
+func Agglomerative(o Oracle, k int, linkage Linkage) (*Clustering, error) {
+	n := o.N()
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: Agglomerative on empty data")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: Agglomerative needs k >= 1, got %d", k)
+	}
+	if k > n {
+		k = n
+	}
+	// Working distance matrix between active groups.
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = o.Dist(i, j)
+			}
+		}
+	}
+	active := make([]bool, n)
+	size := make([]int, n)
+	member := make([][]int, n)
+	for i := range active {
+		active[i] = true
+		size[i] = 1
+		member[i] = []int{i}
+	}
+	remaining := n
+	for remaining > k {
+		// Find the closest active pair.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if d[i][j] < best {
+					best, bi, bj = d[i][j], i, j
+				}
+			}
+		}
+		// Merge bj into bi.
+		for x := 0; x < n; x++ {
+			if !active[x] || x == bi || x == bj {
+				continue
+			}
+			var nd float64
+			switch linkage {
+			case SingleLinkage:
+				nd = math.Min(d[bi][x], d[bj][x])
+			case CompleteLinkage:
+				nd = math.Max(d[bi][x], d[bj][x])
+			default:
+				nd = (float64(size[bi])*d[bi][x] + float64(size[bj])*d[bj][x]) /
+					float64(size[bi]+size[bj])
+			}
+			d[bi][x], d[x][bi] = nd, nd
+		}
+		member[bi] = append(member[bi], member[bj]...)
+		size[bi] += size[bj]
+		active[bj] = false
+		remaining--
+	}
+	labels := make([]int, n)
+	kOut := 0
+	for i := 0; i < n; i++ {
+		if !active[i] {
+			continue
+		}
+		for _, m := range member[i] {
+			labels[m] = kOut
+		}
+		kOut++
+	}
+	return &Clustering{K: kOut, Labels: labels, Silhouette: math.NaN()}, nil
+}

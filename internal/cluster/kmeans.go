@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KMeansOptions tunes the k-means baseline.
+type KMeansOptions struct {
+	// MaxIters bounds Lloyd iterations (default 100).
+	MaxIters int
+	// Restarts re-runs with fresh seeds and keeps the best (default 3).
+	Restarts int
+	// Rand is the randomness source (required).
+	Rand *rand.Rand
+}
+
+// KMeans is the Lloyd's-algorithm baseline with k-means++ seeding. It is
+// not part of Blaeu's pipeline (PAM was chosen instead, §3) but serves as
+// the comparison point in the benchmark harness: k-means needs numeric
+// vectors and a mean, which is exactly the limitation PAM avoids.
+// Vectors must be NaN-free (impute first).
+func KMeans(vecs [][]float64, k int, opts KMeansOptions) (*Clustering, error) {
+	if opts.Rand == nil {
+		return nil, fmt.Errorf("cluster: KMeans requires a random source")
+	}
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 100
+	}
+	if opts.Restarts <= 0 {
+		opts.Restarts = 3
+	}
+	n := len(vecs)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: KMeans on empty data")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: KMeans needs k >= 1, got %d", k)
+	}
+	if k > n {
+		k = n
+	}
+	dim := len(vecs[0])
+
+	var best *Clustering
+	for r := 0; r < opts.Restarts; r++ {
+		centers := kmeansPlusPlus(vecs, k, opts.Rand)
+		labels := make([]int, n)
+		var cost float64
+		for iter := 0; iter < opts.MaxIters; iter++ {
+			cost = 0
+			changed := false
+			for i, v := range vecs {
+				bestD, bestC := math.Inf(1), 0
+				for c := range centers {
+					if d := sqDist(v, centers[c]); d < bestD {
+						bestD, bestC = d, c
+					}
+				}
+				if labels[i] != bestC {
+					labels[i] = bestC
+					changed = true
+				}
+				cost += bestD
+			}
+			if !changed && iter > 0 {
+				break
+			}
+			// Recompute centroids.
+			counts := make([]int, k)
+			for c := range centers {
+				for d := 0; d < dim; d++ {
+					centers[c][d] = 0
+				}
+			}
+			for i, v := range vecs {
+				c := labels[i]
+				counts[c]++
+				for d := 0; d < dim; d++ {
+					centers[c][d] += v[d]
+				}
+			}
+			for c := range centers {
+				if counts[c] == 0 {
+					// Re-seed empty cluster at a random point.
+					copy(centers[c], vecs[opts.Rand.Intn(n)])
+					continue
+				}
+				for d := 0; d < dim; d++ {
+					centers[c][d] /= float64(counts[c])
+				}
+			}
+		}
+		if best == nil || cost < best.Cost {
+			cp := make([]int, n)
+			copy(cp, labels)
+			best = &Clustering{K: k, Labels: cp, Cost: cost, Silhouette: math.NaN()}
+		}
+	}
+	return best, nil
+}
+
+func kmeansPlusPlus(vecs [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(vecs)
+	dim := len(vecs[0])
+	centers := make([][]float64, 0, k)
+	first := make([]float64, dim)
+	copy(first, vecs[rng.Intn(n)])
+	centers = append(centers, first)
+
+	d2 := make([]float64, n)
+	for len(centers) < k {
+		total := 0.0
+		for i, v := range vecs {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if d := sqDist(v, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			for i, d := range d2 {
+				acc += d
+				if acc >= r {
+					pick = i
+					break
+				}
+			}
+		}
+		c := make([]float64, dim)
+		copy(c, vecs[pick])
+		centers = append(centers, c)
+	}
+	return centers
+}
+
+func sqDist(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// RandomPartition assigns each of n objects to one of k clusters uniformly
+// at random — the null baseline for accuracy metrics.
+func RandomPartition(n, k int, rng *rand.Rand) *Clustering {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(k)
+	}
+	return &Clustering{K: k, Labels: labels, Silhouette: math.NaN()}
+}

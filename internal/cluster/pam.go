@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Clustering is the result of a partitional clustering run.
+type Clustering struct {
+	// K is the number of clusters.
+	K int
+	// Labels assigns each object to a cluster in [0,K).
+	Labels []int
+	// Medoids holds the index of the most central object of each cluster
+	// (k-medoid algorithms only; empty for k-means).
+	Medoids []int
+	// Cost is the total dissimilarity between objects and their medoid
+	// (or centroid), the objective PAM minimizes.
+	Cost float64
+	// Silhouette is the average silhouette width if it was computed
+	// (NaN otherwise).
+	Silhouette float64
+}
+
+// Sizes returns the number of objects per cluster.
+func (c *Clustering) Sizes() []int {
+	out := make([]int, c.K)
+	for _, l := range c.Labels {
+		if l >= 0 && l < c.K {
+			out[l]++
+		}
+	}
+	return out
+}
+
+// maxSwapIters bounds PAM's SWAP phase; Kaufman & Rousseeuw's algorithm
+// converges quickly in practice, this is a safety net.
+const maxSwapIters = 100
+
+// PAM runs Partitioning Around Medoids (Kaufman & Rousseeuw 1990) on the
+// oracle: a BUILD phase greedily seeds k medoids, then a SWAP phase
+// repeatedly exchanges a medoid with a non-medoid whenever that lowers the
+// total dissimilarity, until no improving swap exists.
+//
+// PAM is the paper's clustering algorithm of choice for both theme
+// detection (on the dependency graph) and map construction (§3), because
+// it is "accurate, well established and fast enough" and, unlike k-means,
+// needs only pairwise dissimilarities (so it copes with mixed data).
+func PAM(o Oracle, k int) (*Clustering, error) {
+	n := o.N()
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: PAM needs k >= 1, got %d", k)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: PAM on empty data")
+	}
+	if k >= n {
+		// Every object its own medoid (k capped at n).
+		labels := make([]int, n)
+		medoids := make([]int, n)
+		for i := range labels {
+			labels[i] = i
+			medoids[i] = i
+		}
+		return &Clustering{K: n, Labels: labels, Medoids: medoids, Silhouette: math.NaN()}, nil
+	}
+
+	medoids := pamBuild(o, k)
+	// nearest[i] = distance to closest medoid, second[i] = to 2nd closest.
+	nearest := make([]float64, n)
+	second := make([]float64, n)
+	labels := make([]int, n)
+	assign := func() float64 {
+		total := 0.0
+		for i := 0; i < n; i++ {
+			d1, d2, l := math.Inf(1), math.Inf(1), -1
+			for mi, m := range medoids {
+				d := o.Dist(i, m)
+				if d < d1 {
+					d2 = d1
+					d1 = d
+					l = mi
+				} else if d < d2 {
+					d2 = d
+				}
+			}
+			nearest[i], second[i], labels[i] = d1, d2, l
+			total += d1
+		}
+		return total
+	}
+	cost := assign()
+
+	isMedoid := make([]bool, n)
+	for _, m := range medoids {
+		isMedoid[m] = true
+	}
+
+	for iter := 0; iter < maxSwapIters; iter++ {
+		bestDelta := 0.0
+		bestM, bestH := -1, -1
+		for mi := range medoids {
+			for h := 0; h < n; h++ {
+				if isMedoid[h] {
+					continue
+				}
+				// Cost change of swapping medoid mi with candidate h
+				// (standard PAM T_mh computation).
+				delta := 0.0
+				for j := 0; j < n; j++ {
+					if j == h {
+						delta -= nearest[j] // h becomes a medoid: cost 0
+						continue
+					}
+					djh := o.Dist(j, h)
+					if labels[j] == mi {
+						// j loses its medoid m; moves to h or to its
+						// second-best medoid.
+						delta += math.Min(djh, second[j]) - nearest[j]
+					} else if djh < nearest[j] {
+						// j defects to the new medoid h.
+						delta += djh - nearest[j]
+					}
+				}
+				if delta < bestDelta-1e-12 {
+					bestDelta, bestM, bestH = delta, mi, h
+				}
+			}
+		}
+		if bestM < 0 {
+			break // no improving swap: local optimum
+		}
+		isMedoid[medoids[bestM]] = false
+		isMedoid[bestH] = true
+		medoids[bestM] = bestH
+		cost = assign()
+	}
+
+	return &Clustering{K: k, Labels: labels, Medoids: medoids, Cost: cost, Silhouette: math.NaN()}, nil
+}
+
+// pamBuild is PAM's BUILD phase: pick the object minimizing total distance
+// as the first medoid, then greedily add the object that most reduces the
+// total dissimilarity.
+func pamBuild(o Oracle, k int) []int {
+	n := o.N()
+	medoids := make([]int, 0, k)
+
+	// First medoid: the most central object.
+	best, bestSum := 0, math.Inf(1)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			sum += o.Dist(i, j)
+		}
+		if sum < bestSum {
+			best, bestSum = i, sum
+		}
+	}
+	medoids = append(medoids, best)
+
+	nearest := make([]float64, n)
+	for j := 0; j < n; j++ {
+		nearest[j] = o.Dist(j, best)
+	}
+	chosen := make([]bool, n)
+	chosen[best] = true
+
+	for len(medoids) < k {
+		bestI, bestGain := -1, -math.Inf(1)
+		for i := 0; i < n; i++ {
+			if chosen[i] {
+				continue
+			}
+			gain := 0.0
+			for j := 0; j < n; j++ {
+				if chosen[j] || j == i {
+					continue
+				}
+				if d := o.Dist(i, j); d < nearest[j] {
+					gain += nearest[j] - d
+				}
+			}
+			if gain > bestGain {
+				bestI, bestGain = i, gain
+			}
+		}
+		chosen[bestI] = true
+		medoids = append(medoids, bestI)
+		for j := 0; j < n; j++ {
+			if d := o.Dist(j, bestI); d < nearest[j] {
+				nearest[j] = d
+			}
+		}
+	}
+	return medoids
+}
+
+// AssignToMedoids labels every object of the oracle with its nearest
+// medoid (by position in the medoids slice) and returns labels plus the
+// total cost. Used by CLARA to extend a sample clustering to the full set.
+func AssignToMedoids(o Oracle, medoids []int) ([]int, float64) {
+	n := o.N()
+	labels := make([]int, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		dBest, l := math.Inf(1), -1
+		for mi, m := range medoids {
+			if d := o.Dist(i, m); d < dBest {
+				dBest, l = d, mi
+			}
+		}
+		labels[i] = l
+		total += dBest
+	}
+	return labels, total
+}

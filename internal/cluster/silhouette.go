@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/store"
+)
+
+// Silhouette returns the average silhouette width of a clustering over the
+// oracle: for each object, s(i) = (b(i) - a(i)) / max(a(i), b(i)) where
+// a(i) is the mean distance to the object's own cluster and b(i) the mean
+// distance to the nearest other cluster. The result lies in [-1, 1];
+// higher is better. Objects in singleton clusters score 0, following
+// Kaufman & Rousseeuw. Exact computation is O(n²).
+//
+// Blaeu uses the silhouette both as a per-cluster quality indicator shown
+// to the user and as the criterion for choosing the number of clusters k
+// (paper §3, "Number of clusters").
+func Silhouette(o Oracle, labels []int, k int) float64 {
+	n := o.N()
+	if n == 0 || k < 2 {
+		return 0
+	}
+	sizes := make([]int, k)
+	for _, l := range labels {
+		if l >= 0 && l < k {
+			sizes[l]++
+		}
+	}
+	total, counted := 0.0, 0
+	sums := make([]float64, k)
+	for i := 0; i < n; i++ {
+		li := labels[i]
+		if li < 0 || li >= k {
+			continue
+		}
+		if sizes[li] <= 1 {
+			counted++ // s(i) = 0 by convention
+			continue
+		}
+		for c := range sums {
+			sums[c] = 0
+		}
+		for j := 0; j < n; j++ {
+			lj := labels[j]
+			if j == i || lj < 0 || lj >= k {
+				continue
+			}
+			sums[lj] += o.Dist(i, j)
+		}
+		a := sums[li] / float64(sizes[li]-1)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == li || sizes[c] == 0 {
+				continue
+			}
+			if v := sums[c] / float64(sizes[c]); v < b {
+				b = v
+			}
+		}
+		if math.IsInf(b, 1) {
+			counted++
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+		}
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// MCSilhouetteOptions tunes the Monte-Carlo silhouette estimator.
+type MCSilhouetteOptions struct {
+	// Rounds is the number of sub-samples to average over.
+	Rounds int
+	// SampleSize is the number of objects per sub-sample.
+	SampleSize int
+	// Rand is the randomness source (required).
+	Rand *rand.Rand
+}
+
+func (o *MCSilhouetteOptions) defaults() {
+	if o.Rounds <= 0 {
+		o.Rounds = 4
+	}
+	if o.SampleSize <= 0 {
+		o.SampleSize = 256
+	}
+}
+
+// MCSilhouette estimates the average silhouette width by averaging the
+// exact silhouette of several random sub-samples, the Monte-Carlo scheme
+// the paper describes (§3, "Sampling"): "it extracts a few sub-samples
+// from the user's selection, computes the clustering quality of those, and
+// averages the results". It reduces the O(n²) exact cost to
+// O(rounds · s²) for sample size s.
+func MCSilhouette(o Oracle, labels []int, k int, opts MCSilhouetteOptions) float64 {
+	if opts.Rand == nil {
+		panic("cluster: MCSilhouette requires a random source")
+	}
+	opts.defaults()
+	n := o.N()
+	if n <= opts.SampleSize {
+		return Silhouette(o, labels, k)
+	}
+	total := 0.0
+	for r := 0; r < opts.Rounds; r++ {
+		idx := store.SampleIndices(n, opts.SampleSize, opts.Rand)
+		sub := &SubsetOracle{Parent: o, Idx: idx}
+		subLabels := make([]int, len(idx))
+		for i, gi := range idx {
+			subLabels[i] = labels[gi]
+		}
+		total += Silhouette(sub, subLabels, k)
+	}
+	return total / float64(opts.Rounds)
+}
+
+// SilhouettePerCluster returns the mean silhouette width of each cluster,
+// the per-region quality signal Blaeu surfaces to users.
+func SilhouettePerCluster(o Oracle, labels []int, k int) []float64 {
+	n := o.N()
+	out := make([]float64, k)
+	cnt := make([]int, k)
+	if n == 0 || k < 2 {
+		return out
+	}
+	sizes := make([]int, k)
+	for _, l := range labels {
+		if l >= 0 && l < k {
+			sizes[l]++
+		}
+	}
+	sums := make([]float64, k)
+	for i := 0; i < n; i++ {
+		li := labels[i]
+		if li < 0 || li >= k {
+			continue
+		}
+		cnt[li]++
+		if sizes[li] <= 1 {
+			continue
+		}
+		for c := range sums {
+			sums[c] = 0
+		}
+		for j := 0; j < n; j++ {
+			lj := labels[j]
+			if j == i || lj < 0 || lj >= k {
+				continue
+			}
+			sums[lj] += o.Dist(i, j)
+		}
+		a := sums[li] / float64(sizes[li]-1)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == li || sizes[c] == 0 {
+				continue
+			}
+			if v := sums[c] / float64(sizes[c]); v < b {
+				b = v
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		if den := math.Max(a, b); den > 0 {
+			out[li] += (b - a) / den
+		}
+	}
+	for c := 0; c < k; c++ {
+		if cnt[c] > 0 {
+			out[c] /= float64(cnt[c])
+		}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/prep"
+	"repro/internal/store"
+	"repro/internal/tree"
+)
+
+// Map is a data map: the interactive visualization model of the clusters
+// in the current selection under one theme's columns (paper §2). It is
+// built by the three-stage pipeline of Fig. 3 — preprocessing, cluster
+// detection, cluster description — and doubles as output (a summary of
+// the data) and input (regions the user can zoom into).
+type Map struct {
+	// Theme is the theme whose columns the map clusters on.
+	Theme Theme
+	// Root is the region hierarchy.
+	Root *Region
+	// K is the number of clusters the map describes.
+	K int
+	// Silhouette is the (Monte-Carlo) average silhouette width of the
+	// sample clustering — the map-quality signal shown to users.
+	Silhouette float64
+	// TreeAccuracy is the fidelity of the decision-tree description to
+	// the sample clustering, the "loss of accuracy" trade-off of §3.
+	TreeAccuracy float64
+	// SampleSize is the number of tuples actually clustered.
+	SampleSize int
+	// Tree is the fitted description tree.
+	Tree *tree.Tree
+}
+
+// buildMap runs the mapping pipeline of Fig. 3 on the given selection
+// (absolute row indices) and columns:
+//
+//  1. multi-scale sampling: cluster at most opts.SampleSize tuples;
+//  2. preprocessing: keys dropped, continuous variables normalized,
+//     categoricals dummy-encoded, missing values imputed;
+//  3. cluster detection: PAM (or CLARA), k chosen by silhouette;
+//  4. cluster description: a CART tree trained on the original tuples
+//     with cluster IDs as labels;
+//  5. the tree is applied to the *full* selection, so region counts
+//     reflect all tuples, not just the sample.
+func (e *Explorer) buildMap(rows []int, theme Theme) (*Map, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("core: empty selection")
+	}
+	// Stage 0: multi-scale sampling.
+	sampleRows := rows
+	if len(rows) > e.opts.SampleSize {
+		pick := store.SampleIndices(len(rows), e.opts.SampleSize, e.rng)
+		sampleRows = make([]int, len(pick))
+		for i, p := range pick {
+			sampleRows[i] = rows[p]
+		}
+	}
+	sample := e.table.Gather(sampleRows)
+
+	// Stage 1: preprocessing. A selection that is constant (or key-only)
+	// on the theme's columns has no cluster structure left: degrade to a
+	// single-region map instead of failing, so users can zoom to the
+	// bottom of any region and still roll back.
+	pipe, vecs, err := prep.FitTransform(sample, theme.Columns, e.opts.Prep)
+	if err != nil {
+		return &Map{
+			Theme: theme, K: 1, Silhouette: 0, TreeAccuracy: 1,
+			SampleSize: len(sampleRows),
+			Root:       &Region{ClusterID: 0, Rows: rows, Silhouette: math.NaN()},
+		}, nil
+	}
+
+	// Stage 2: cluster detection with automatic k.
+	oracle := e.oracleFor(vecs)
+	kMax := e.opts.MapKMax
+	if kMax >= len(vecs) {
+		kMax = len(vecs) - 1
+	}
+	var clustering *cluster.Clustering
+	if kMax < e.opts.MapKMin {
+		clustering = &cluster.Clustering{K: 1, Labels: make([]int, len(vecs)), Silhouette: 0}
+	} else {
+		clustering, err = cluster.AutoK(oracle, cluster.AutoKOptions{
+			KMin:                  e.opts.MapKMin,
+			KMax:                  kMax,
+			Method:                e.opts.ClusterMethod,
+			LargeThreshold:        e.opts.PAMThreshold,
+			MCSilhouetteThreshold: e.opts.PAMThreshold,
+			Rand:                  e.rng,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: clustering theme %d: %w", theme.ID, err)
+		}
+	}
+
+	// Stage 3: cluster description on the original tuples.
+	m := &Map{Theme: theme, K: clustering.K, Silhouette: clustering.Silhouette,
+		SampleSize: len(sampleRows)}
+	if clustering.K < 2 {
+		m.Root = &Region{ClusterID: 0, Rows: rows, Silhouette: math.NaN()}
+		m.TreeAccuracy = 1
+		return m, nil
+	}
+	features := pipe.UsedColumns()
+	tr, err := tree.Fit(sample, features, clustering.Labels, clustering.K, tree.Options{
+		MaxDepth: e.opts.TreeMaxDepth,
+		MinLeaf:  e.opts.TreeMinLeaf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: describing theme %d: %w", theme.ID, err)
+	}
+	tr.Prune()
+	m.Tree = tr
+	m.TreeAccuracy = tr.Accuracy(sample, clustering.Labels)
+
+	// Per-cluster quality for leaf annotation.
+	perCluster := cluster.SilhouettePerCluster(oracle, clustering.Labels, clustering.K)
+
+	// Stage 4: extend the description to the full selection.
+	m.Root = e.regionsFromTree(tr.Root, rows, nil, nil, perCluster)
+	return m, nil
+}
+
+// oracleFor picks a distance oracle: precomputed matrix for small samples
+// (fast repeated access by PAM), on-demand for large ones.
+func (e *Explorer) oracleFor(vecs [][]float64) cluster.Oracle {
+	metric := e.metric
+	if len(vecs) <= 2048 {
+		return cluster.ComputeDistMatrix(vecs, metric)
+	}
+	return &cluster.VectorOracle{Vecs: vecs, Metric: metric}
+}
+
+// regionsFromTree mirrors the fitted description tree over the full
+// selection: each tree node becomes a region whose rows are the selection
+// tuples satisfying the node's predicate path.
+func (e *Explorer) regionsFromTree(node *tree.Node, rows []int, path []int, cond store.And, perCluster []float64) *Region {
+	r := &Region{
+		Path:       append([]int(nil), path...),
+		Condition:  append(store.And(nil), cond...),
+		Rows:       rows,
+		ClusterID:  -1,
+		Silhouette: math.NaN(),
+	}
+	if node.IsLeaf() {
+		r.ClusterID = node.Class
+		if node.Class >= 0 && node.Class < len(perCluster) {
+			r.Silhouette = perCluster[node.Class]
+		}
+		return r
+	}
+	r.Split = node.Split
+	var yes, no []int
+	for _, row := range rows {
+		if node.Split.Matches(e.table, row) {
+			yes = append(yes, row)
+		} else {
+			no = append(no, row)
+		}
+	}
+	neg := tree.Complement(node.Split, node.SplitMissing)
+	r.Children = []*Region{
+		e.regionsFromTree(node.Left, yes, append(path, 0), append(cond, node.Split), perCluster),
+		e.regionsFromTree(node.Right, no, append(path, 1), append(cond, neg), perCluster),
+	}
+	return r
+}

@@ -1,0 +1,106 @@
+// Package core implements Blaeu's mapping engine and navigation model —
+// the paper's primary contribution. It clusters a table vertically into
+// themes (groups of mutually dependent columns), builds a data map per
+// theme (hierarchical, interpretable clusters of the current selection),
+// and exposes the four navigational actions: zoom, highlight, project and
+// rollback (paper §2–3).
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/prep"
+)
+
+// Options tunes the exploration engine.
+type Options struct {
+	// Seed initializes the engine's deterministic randomness.
+	Seed int64
+	// SampleSize is the multi-scale sampling budget: after each action
+	// Blaeu clusters at most this many tuples (paper §3: "After each
+	// zoom, Blaeu only takes a few thousand samples"). Default 2000.
+	SampleSize int
+	// ThemeKMin / ThemeKMax bound the number of themes tried during
+	// vertical clustering (defaults 2 and 8, capped by column count).
+	ThemeKMin, ThemeKMax int
+	// MapKMin / MapKMax bound the number of clusters per data map
+	// (defaults 2 and 6).
+	MapKMin, MapKMax int
+	// TreeMaxDepth bounds the description tree, hence the depth of the
+	// region hierarchy in a map (default 3 — maps must stay readable).
+	TreeMaxDepth int
+	// TreeMinLeaf is the minimum tuples per region on the clustered
+	// sample (default 8).
+	TreeMinLeaf int
+	// DependencySampleRows caps rows used for the dependency graph
+	// (default = SampleSize; themes only need statistical estimates).
+	DependencySampleRows int
+	// Prep configures preprocessing (default prep.NewOptions()).
+	Prep prep.Options
+	// ClusterMethod selects PAM / CLARA / auto (default auto).
+	ClusterMethod cluster.Method
+	// PAMThreshold is the sample size above which the auto method
+	// switches from exact PAM to CLARA, and silhouettes switch to the
+	// Monte-Carlo estimator (paper §3: "when the data is too large,
+	// Blaeu creates the maps with CLARA"). Default 1024.
+	PAMThreshold int
+	// MaxHistory bounds the rollback stack (default 64).
+	MaxHistory int
+}
+
+// DefaultOptions returns the engine defaults described in the paper.
+func DefaultOptions() Options {
+	return Options{
+		SampleSize:   2000,
+		ThemeKMin:    2,
+		ThemeKMax:    8,
+		MapKMin:      2,
+		MapKMax:      6,
+		TreeMaxDepth: 3,
+		TreeMinLeaf:  8,
+		Prep:         prep.NewOptions(),
+		PAMThreshold: 1024,
+		MaxHistory:   64,
+	}
+}
+
+func (o *Options) defaults() {
+	d := DefaultOptions()
+	if o.SampleSize <= 0 {
+		o.SampleSize = d.SampleSize
+	}
+	if o.ThemeKMin < 2 {
+		o.ThemeKMin = d.ThemeKMin
+	}
+	if o.ThemeKMax < o.ThemeKMin {
+		o.ThemeKMax = o.ThemeKMin + 6
+	}
+	if o.MapKMin < 2 {
+		o.MapKMin = d.MapKMin
+	}
+	if o.MapKMax < o.MapKMin {
+		o.MapKMax = o.MapKMin + 4
+	}
+	if o.TreeMaxDepth <= 0 {
+		o.TreeMaxDepth = d.TreeMaxDepth
+	}
+	if o.TreeMinLeaf <= 0 {
+		o.TreeMinLeaf = d.TreeMinLeaf
+	}
+	if o.DependencySampleRows <= 0 {
+		o.DependencySampleRows = o.SampleSize
+	}
+	if o.Prep.MaxDummyLevels == 0 && o.Prep.MaxCardinalityRatio == 0 {
+		o.Prep = d.Prep
+	}
+	if o.PAMThreshold <= 0 {
+		o.PAMThreshold = d.PAMThreshold
+	}
+	if o.MaxHistory <= 0 {
+		o.MaxHistory = d.MaxHistory
+	}
+}
+
+// newRNG builds the engine RNG from the seed.
+func (o *Options) newRNG() *rand.Rand { return rand.New(rand.NewSource(o.Seed + 1)) }

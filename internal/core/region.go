@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/store"
+)
+
+// Region is one node of a data map: a subset of the current selection
+// described by an interpretable predicate path (paper §2). Leaf regions
+// are the clusters the user can zoom into; internal regions show the
+// hierarchy of splits (Fig. 1b).
+type Region struct {
+	// Path addresses the region from the map root: Path[i] is the child
+	// index taken at depth i (empty for the root).
+	Path []int
+	// Split is the predicate routing tuples to Children[0]; tuples
+	// failing it go to Children[1]. Nil for leaves.
+	Split store.Predicate
+	// Condition is the conjunction of predicates from the root to this
+	// region — the implicit Select query the region denotes.
+	Condition store.And
+	// Children are the sub-regions (nil for leaves).
+	Children []*Region
+	// Rows are the absolute base-table row indices of the selection
+	// falling in this region.
+	Rows []int
+	// ClusterID is the sample-clustering cluster this (leaf) region
+	// describes (-1 for internal regions).
+	ClusterID int
+	// Silhouette is the mean silhouette width of the region's cluster on
+	// the clustered sample (leaf regions; NaN when unavailable).
+	Silhouette float64
+	// Annotations are user notes attached via Explorer.Annotate (the
+	// paper's abstract: maps offer facilities to "annotate" clusters).
+	Annotations []string
+}
+
+// Count returns the number of selection tuples in the region — the
+// quantity the map visualizes as leaf area (paper §2).
+func (r *Region) Count() int { return len(r.Rows) }
+
+// IsLeaf reports whether the region has no children.
+func (r *Region) IsLeaf() bool { return len(r.Children) == 0 }
+
+// Leaves returns the leaf regions under r, left to right.
+func (r *Region) Leaves() []*Region {
+	if r.IsLeaf() {
+		return []*Region{r}
+	}
+	var out []*Region
+	for _, c := range r.Children {
+		out = append(out, c.Leaves()...)
+	}
+	return out
+}
+
+// Find returns the region addressed by path (child indices from r), or an
+// error if the path is invalid.
+func (r *Region) Find(path []int) (*Region, error) {
+	cur := r
+	for depth, idx := range path {
+		if idx < 0 || idx >= len(cur.Children) {
+			return nil, fmt.Errorf("core: region path %v invalid at depth %d (%d children)",
+				path, depth, len(cur.Children))
+		}
+		cur = cur.Children[idx]
+	}
+	return cur, nil
+}
+
+// Describe renders the region's condition, e.g.
+// "PctEmployeesWorkingLongHours < 20 AND AverageIncome >= 22".
+func (r *Region) Describe() string {
+	if len(r.Condition) == 0 {
+		return "all tuples"
+	}
+	return r.Condition.String()
+}
+
+// RenderTree draws the region hierarchy as indented text with counts —
+// the terminal analogue of the paper's treemap (Fig. 1b).
+func (r *Region) RenderTree() string {
+	var sb strings.Builder
+	var walk func(n *Region, prefix string)
+	walk = func(n *Region, prefix string) {
+		label := "all tuples"
+		if len(n.Condition) > 0 {
+			label = n.Condition[len(n.Condition)-1].String()
+		}
+		marker := ""
+		if n.IsLeaf() {
+			marker = fmt.Sprintf("  [cluster %d]", n.ClusterID)
+		}
+		fmt.Fprintf(&sb, "%s%s  (n=%d)%s\n", prefix, label, n.Count(), marker)
+		for _, c := range n.Children {
+			walk(c, prefix+"  ")
+		}
+	}
+	walk(r, "")
+	return sb.String()
+}

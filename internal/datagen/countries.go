@@ -1,0 +1,239 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/store"
+)
+
+// CountriesThemeNames lists the planted indicator themes of the Countries
+// generator, in generation order.
+var CountriesThemeNames = []string{
+	"labor", "unemployment", "health", "economy",
+	"education", "housing", "environment", "safety",
+}
+
+// countriesList holds 31 country names, matching the paper's "31 different
+// countries".
+var countriesList = []string{
+	"Australia", "Austria", "Belgium", "Canada", "Chile", "Czechia",
+	"Denmark", "Estonia", "Finland", "France", "Germany", "Greece",
+	"Hungary", "Iceland", "Ireland", "Israel", "Italy", "Japan", "Korea",
+	"Mexico", "Netherlands", "NewZealand", "Norway", "Poland", "Portugal",
+	"Slovakia", "Slovenia", "Spain", "Sweden", "Switzerland", "UnitedStates",
+}
+
+// Countries generates the demo's second scenario (§4.2): an OECD-style
+// regional well-being table with 6,823 rows (regions of 31 countries) and
+// 378 columns grouped into eight planted themes of 47 indicators each
+// (376 numeric + CountryName + RegionName).
+//
+// The labor theme reproduces the running example of Fig. 1:
+//
+//	cluster 0 — many employees working long hours (>= ~20%)
+//	cluster 1 — few long hours, high income (the Switzerland/Norway/
+//	            Canada group the demo highlights)
+//	cluster 2 — few long hours, low income
+//
+// Cluster 1 additionally carries the planted sub-structure of Fig. 1c: a
+// very-low-hours subgroup (< ~9.5%) and a moderate one, recorded under
+// truth "labor_zoom". The unemployment theme has two planted clusters
+// splitting near 8% (Fig. 1d). Named indicator columns
+// (PctEmployeesWorkingLongHours, AverageIncome, Unemployment, ...) lead
+// their themes; the remaining columns are noisy transforms of each theme's
+// latent signal.
+func Countries(rng *rand.Rand) *Dataset {
+	const (
+		n            = 6823
+		themeCols    = 47
+		laborSep     = 20.0 // hours threshold of Fig. 1b
+		incomeSplit  = 22.0 // income threshold of Fig. 1b (k$)
+		unempSplit   = 8.0  // unemployment threshold of Fig. 1d
+		zoomSubSplit = 9.5  // hours sub-threshold of Fig. 1c
+	)
+
+	country := store.NewStringColumn("CountryName")
+	region := store.NewStringColumn("RegionName")
+
+	// Assign labor clusters per country so that highlights reproduce the
+	// demo: Switzerland, Norway, Canada (and similar) land in cluster 1.
+	highIncomeLowHours := map[string]bool{
+		"Switzerland": true, "Norway": true, "Canada": true, "Denmark": true,
+		"Netherlands": true, "Sweden": true, "Australia": true, "Iceland": true,
+		"Germany": true, "Austria": true,
+	}
+	longHours := map[string]bool{
+		"Korea": true, "Mexico": true, "Chile": true, "Japan": true,
+		"Greece": true, "Israel": true, "UnitedStates": true,
+	}
+
+	labor := make([]int, n)     // Fig. 1b clusters
+	laborZoom := make([]int, n) // Fig. 1c sub-clusters within cluster 1 (-1 elsewhere)
+	unemp := make([]int, n)     // Fig. 1d clusters
+
+	hours := make([]float64, n)
+	income := make([]float64, n)
+	leisure := make([]float64, n)
+	unempRate := make([]float64, n)
+	ltUnemp := make([]float64, n)
+	femUnemp := make([]float64, n)
+
+	laborLatent := make([]float64, n)
+	unempLatent := make([]float64, n)
+	otherLatents := make([][]float64, 6) // health..safety
+	otherK := []int{3, 3, 2, 4, 2, 3}
+	otherTruth := make([][]int, 6)
+	for i := range otherLatents {
+		otherLatents[i] = make([]float64, n)
+		otherTruth[i] = make([]int, n)
+	}
+
+	clamp := func(v, lo, hi float64) float64 { return math.Max(lo, math.Min(hi, v)) }
+
+	for i := 0; i < n; i++ {
+		c := countriesList[i%len(countriesList)]
+		country.Append(c)
+		region.Append(fmt.Sprintf("%s-Region-%03d", c, i/len(countriesList)))
+
+		// --- labor theme (Fig. 1b/1c) ---
+		var lc int
+		switch {
+		case longHours[c]:
+			lc = 0
+		case highIncomeLowHours[c]:
+			lc = 1
+		default:
+			lc = 2
+		}
+		// A little churn so clusters are country-dominated, not exact.
+		if rng.Float64() < 0.05 {
+			lc = rng.Intn(3)
+		}
+		labor[i] = lc
+		laborZoom[i] = -1
+		switch lc {
+		case 0:
+			hours[i] = clamp(26+rng.NormFloat64()*3, laborSep+0.5, 45)
+			income[i] = clamp(20+rng.NormFloat64()*5, 5, 45)
+		case 1:
+			if rng.Float64() < 0.5 {
+				laborZoom[i] = 0 // very low hours subgroup
+				hours[i] = clamp(7+rng.NormFloat64()*1.2, 1, zoomSubSplit-0.1)
+			} else {
+				laborZoom[i] = 1
+				hours[i] = clamp(12.5+rng.NormFloat64()*2, zoomSubSplit+0.1, laborSep-0.5)
+			}
+			income[i] = clamp(30+rng.NormFloat64()*4, incomeSplit+0.5, 60)
+		default:
+			hours[i] = clamp(11+rng.NormFloat64()*3.5, 1, laborSep-0.5)
+			income[i] = clamp(16+rng.NormFloat64()*3, 4, incomeSplit-0.5)
+		}
+		leisure[i] = clamp(16-hours[i]*0.25+rng.NormFloat64(), 5, 18)
+		laborLatent[i] = float64(lc)*4 + rng.NormFloat64()
+
+		// --- unemployment theme (Fig. 1d) ---
+		uc := 0
+		if rng.Float64() < 0.4 {
+			uc = 1
+		}
+		unemp[i] = uc
+		if uc == 0 {
+			unempRate[i] = clamp(4.5+rng.NormFloat64()*1.5, 0.5, unempSplit-0.2)
+		} else {
+			unempRate[i] = clamp(12+rng.NormFloat64()*2.5, unempSplit+0.2, 28)
+		}
+		ltUnemp[i] = clamp(unempRate[i]*0.4+rng.NormFloat64(), 0, 20)
+		femUnemp[i] = clamp(unempRate[i]+rng.NormFloat64()*1.5, 0, 30)
+		unempLatent[i] = float64(uc)*4 + rng.NormFloat64()
+
+		// --- remaining six themes: independent latent clusters ---
+		for ti := range otherLatents {
+			k := otherK[ti]
+			cl := rng.Intn(k)
+			otherTruth[ti][i] = cl
+			otherLatents[ti][i] = float64(cl)*4 + rng.NormFloat64()
+		}
+	}
+
+	t := store.NewTable("countries")
+	t.MustAddColumn(country)
+	t.MustAddColumn(region)
+
+	ds := &Dataset{Table: t, Truth: map[string][]int{}, K: map[string]int{}}
+
+	// Named lead columns per theme, then filler indicators derived from
+	// the theme latent.
+	addFloat := func(name string, vals []float64) {
+		t.MustAddColumn(store.NewFloatColumnFrom(name, vals))
+	}
+	fill := func(prefix string, latent []float64, count int, group *[]string) {
+		for j := 0; j < count; j++ {
+			name := fmt.Sprintf("%s_ind_%02d", prefix, j)
+			scale := 0.5 + rng.Float64()*2
+			if rng.Intn(2) == 0 {
+				scale = -scale
+			}
+			shift := rng.NormFloat64() * 5
+			vals := make([]float64, n)
+			for i := 0; i < n; i++ {
+				vals[i] = latent[i]*scale + shift + rng.NormFloat64()*0.8
+			}
+			addFloat(name, vals)
+			*group = append(*group, name)
+		}
+	}
+
+	// labor: 3 named + 44 filler = 47
+	laborGroup := []string{"PctEmployeesWorkingLongHours", "AverageIncome", "TimeDedicatedToLeisure"}
+	addFloat("PctEmployeesWorkingLongHours", hours)
+	addFloat("AverageIncome", income)
+	addFloat("TimeDedicatedToLeisure", leisure)
+	fill("labor", laborLatent, themeCols-3, &laborGroup)
+	ds.Themes = append(ds.Themes, laborGroup)
+	ds.Truth["labor"] = labor
+	ds.K["labor"] = 3
+	ds.Truth["labor_zoom"] = laborZoom
+	ds.K["labor_zoom"] = 2
+
+	// unemployment: 3 named + 44 filler
+	unempGroup := []string{"Unemployment", "LongTermUnemployment", "FemaleUnemployment"}
+	addFloat("Unemployment", unempRate)
+	addFloat("LongTermUnemployment", ltUnemp)
+	addFloat("FemaleUnemployment", femUnemp)
+	fill("unemployment", unempLatent, themeCols-3, &unempGroup)
+	ds.Themes = append(ds.Themes, unempGroup)
+	ds.Truth["unemployment"] = unemp
+	ds.K["unemployment"] = 2
+
+	// health: 3 named + 44 filler, driven by its own latent
+	healthGroup := []string{"PctHealthInsurance", "LifeExpectancy", "HealthSpending"}
+	hl := otherLatents[0]
+	ins := make([]float64, n)
+	le := make([]float64, n)
+	hs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ins[i] = clamp(70+hl[i]*3+rng.NormFloat64()*2, 20, 100)
+		le[i] = clamp(74+hl[i]*1.5+rng.NormFloat64(), 55, 90)
+		hs[i] = clamp(8+hl[i]+rng.NormFloat64()*0.5, 1, 20)
+	}
+	addFloat("PctHealthInsurance", ins)
+	addFloat("LifeExpectancy", le)
+	addFloat("HealthSpending", hs)
+	fill("health", hl, themeCols-3, &healthGroup)
+	ds.Themes = append(ds.Themes, healthGroup)
+	ds.Truth["health"] = otherTruth[0]
+	ds.K["health"] = otherK[0]
+
+	// five remaining themes: all filler indicators
+	for ti := 1; ti < len(otherLatents); ti++ {
+		name := CountriesThemeNames[ti+2]
+		var group []string
+		fill(name, otherLatents[ti], themeCols, &group)
+		ds.Themes = append(ds.Themes, group)
+		ds.Truth[name] = otherTruth[ti]
+		ds.K[name] = otherK[ti]
+	}
+	return ds
+}

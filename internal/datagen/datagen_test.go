@@ -1,0 +1,293 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/stats"
+	"repro/internal/store"
+)
+
+func TestPlantedBlobsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := PlantedBlobs(BlobSpec{N: 300, K: 3, Dims: 5, Sep: 6}, rng)
+	if ds.Table.NumRows() != 300 || ds.Table.NumCols() != 5 {
+		t.Fatalf("dims = %dx%d", ds.Table.NumRows(), ds.Table.NumCols())
+	}
+	if len(ds.Truth["rows"]) != 300 || ds.K["rows"] != 3 {
+		t.Fatal("truth malformed")
+	}
+	// Labels must be recoverable: PAM on the vectors should align.
+	vecs := make([][]float64, 300)
+	for i := range vecs {
+		v := make([]float64, 5)
+		for d := 0; d < 5; d++ {
+			v[d] = ds.Table.Column(d).Float(i)
+		}
+		vecs[i] = v
+	}
+	m := cluster.ComputeDistMatrix(vecs, stats.Euclidean{})
+	c, err := cluster.PAM(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari := eval.AdjustedRandIndex(ds.Truth["rows"], c.Labels); ari < 0.9 {
+		t.Errorf("blobs not separable: ARI = %.3f", ari)
+	}
+}
+
+func TestPlantedBlobsMissing(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds := PlantedBlobs(BlobSpec{N: 500, K: 2, Dims: 4, Sep: 5, MissingRate: 0.1}, rng)
+	nulls := 0
+	for d := 0; d < 4; d++ {
+		nulls += ds.Table.Column(d).NullCount()
+	}
+	if nulls < 100 || nulls > 300 {
+		t.Errorf("nulls = %d, want ~200 at 10%%", nulls)
+	}
+}
+
+func TestPlantedThemesDependencyStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := PlantedThemes(1500, []ThemeSpec{
+		{Name: "alpha", Cols: 4, K: 2},
+		{Name: "beta", Cols: 4, K: 3},
+	}, rng)
+	if ds.Table.NumCols() != 8 || len(ds.Themes) != 2 {
+		t.Fatal("shape wrong")
+	}
+	g, err := graph.BuildDependencyGraph(ds.Table, nil, graph.DependencyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := g.Partition(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All alpha columns in one part, all beta in the other.
+	for i := 1; i < 4; i++ {
+		if c.Labels[i] != c.Labels[0] {
+			t.Fatalf("alpha theme split: %v", c.Labels)
+		}
+		if c.Labels[4+i] != c.Labels[4] {
+			t.Fatalf("beta theme split: %v", c.Labels)
+		}
+	}
+	if c.Labels[0] == c.Labels[4] {
+		t.Fatal("themes merged")
+	}
+}
+
+func TestHollywoodShapeAndStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds := Hollywood(rng)
+	if ds.Table.NumRows() != 900 {
+		t.Fatalf("rows = %d, want 900 (paper)", ds.Table.NumRows())
+	}
+	if ds.Table.NumCols() != 12 {
+		t.Fatalf("cols = %d, want 12 (paper)", ds.Table.NumCols())
+	}
+	if ds.K["rows"] != 3 {
+		t.Fatal("want 3 planted clusters")
+	}
+	// Film must look like a key; Profitability must separate cluster 1
+	// (darlings, high profit) from cluster 2 (flops).
+	if !store.IsLikelyKey(ds.Table.ColumnByName("Film")) {
+		t.Error("Film should be a key column")
+	}
+	prof := ds.Table.ColumnByName("Profitability")
+	var darl, flop, nd, nf float64
+	for i := 0; i < 900; i++ {
+		switch ds.Truth["rows"][i] {
+		case 1:
+			darl += prof.Float(i)
+			nd++
+		case 2:
+			flop += prof.Float(i)
+			nf++
+		}
+	}
+	if darl/nd < 2*(flop/nf) {
+		t.Errorf("darlings profit %.2f should far exceed flops %.2f", darl/nd, flop/nf)
+	}
+}
+
+func TestCountriesShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := Countries(rng)
+	if ds.Table.NumRows() != 6823 {
+		t.Fatalf("rows = %d, want 6823 (paper)", ds.Table.NumRows())
+	}
+	if ds.Table.NumCols() != 378 {
+		t.Fatalf("cols = %d, want 378 (paper)", ds.Table.NumCols())
+	}
+	if len(ds.Themes) != 8 {
+		t.Fatalf("themes = %d, want 8", len(ds.Themes))
+	}
+	total := 2 // strings
+	for _, th := range ds.Themes {
+		total += len(th)
+	}
+	if total != 378 {
+		t.Errorf("theme columns + strings = %d, want 378", total)
+	}
+	// 31 countries.
+	cs := ds.Table.ColumnByName("CountryName").(*store.StringColumn)
+	if cs.Cardinality() != 31 {
+		t.Errorf("countries = %d, want 31", cs.Cardinality())
+	}
+}
+
+func TestCountriesLaborClustersMatchFig1(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ds := Countries(rng)
+	hours := ds.Table.ColumnByName("PctEmployeesWorkingLongHours")
+	income := ds.Table.ColumnByName("AverageIncome")
+	labor := ds.Truth["labor"]
+	// Planted geometry: cluster 0 above 20 hours, clusters 1/2 below;
+	// cluster 1 above 22 income, cluster 2 below (Fig. 1b). Ignore the 5%
+	// churn rows by checking means, not every row.
+	var h0, h12, inc1, inc2 float64
+	var n0, n12, n1, n2 int
+	for i, c := range labor {
+		h := hours.Float(i)
+		switch c {
+		case 0:
+			h0 += h
+			n0++
+		case 1:
+			h12 += h
+			n12++
+			inc1 += income.Float(i)
+			n1++
+		case 2:
+			h12 += h
+			n12++
+			inc2 += income.Float(i)
+			n2++
+		}
+	}
+	if h0/float64(n0) < 20 {
+		t.Errorf("cluster 0 mean hours = %.1f, want > 20", h0/float64(n0))
+	}
+	if h12/float64(n12) > 20 {
+		t.Errorf("clusters 1+2 mean hours = %.1f, want < 20", h12/float64(n12))
+	}
+	if inc1/float64(n1) < 22 || inc2/float64(n2) > 22 {
+		t.Errorf("income split broken: c1=%.1f c2=%.1f, want straddling 22",
+			inc1/float64(n1), inc2/float64(n2))
+	}
+	// Switzerland rows should mostly be cluster 1 (the demo's highlight).
+	names := ds.Table.ColumnByName("CountryName").(*store.StringColumn)
+	ch1, chAll := 0, 0
+	for i := range labor {
+		if names.Value(i) == "Switzerland" {
+			chAll++
+			if labor[i] == 1 {
+				ch1++
+			}
+		}
+	}
+	if float64(ch1)/float64(chAll) < 0.8 {
+		t.Errorf("only %d/%d Switzerland rows in cluster 1", ch1, chAll)
+	}
+}
+
+func TestCountriesZoomSubstructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ds := Countries(rng)
+	zoom := ds.Truth["labor_zoom"]
+	labor := ds.Truth["labor"]
+	hours := ds.Table.ColumnByName("PctEmployeesWorkingLongHours")
+	for i, z := range zoom {
+		if labor[i] != 1 {
+			if z != -1 {
+				t.Fatal("zoom labels outside cluster 1 must be -1")
+			}
+			continue
+		}
+		if z == 0 && hours.Float(i) >= 9.5 {
+			t.Fatalf("zoom cluster 0 row %d has hours %.1f >= 9.5", i, hours.Float(i))
+		}
+		if z == 1 && hours.Float(i) < 9.5 {
+			t.Fatalf("zoom cluster 1 row %d has hours %.1f < 9.5", i, hours.Float(i))
+		}
+	}
+}
+
+func TestCountriesUnemploymentSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ds := Countries(rng)
+	u := ds.Table.ColumnByName("Unemployment")
+	for i, c := range ds.Truth["unemployment"] {
+		v := u.Float(i)
+		if c == 0 && v >= 8 {
+			t.Fatalf("unemp cluster 0 row %d = %.1f, want < 8", i, v)
+		}
+		if c == 1 && v < 8 {
+			t.Fatalf("unemp cluster 1 row %d = %.1f, want >= 8", i, v)
+		}
+	}
+}
+
+func TestLOFARShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ds := LOFAR(LOFAROptions{N: 5000}, rng)
+	if ds.Table.NumRows() != 5000 {
+		t.Fatal("rows wrong")
+	}
+	if ds.Table.NumCols() != 40 {
+		t.Fatalf("cols = %d, want 40", ds.Table.NumCols())
+	}
+	if ds.K["rows"] != 4 {
+		t.Fatal("want 4 planted populations")
+	}
+	if !store.IsLikelyKey(ds.Table.ColumnByName("SourceID")) {
+		t.Error("SourceID should be a key")
+	}
+	// Artifacts (cluster 3) must have extreme axis ratios vs compact (0).
+	ar := ds.Table.ColumnByName("AxisRatio")
+	var a0, a3 float64
+	var n0, n3 int
+	for i, c := range ds.Truth["rows"] {
+		if c == 0 {
+			a0 += ar.Float(i)
+			n0++
+		}
+		if c == 3 {
+			a3 += ar.Float(i)
+			n3++
+		}
+	}
+	if a3/float64(n3) < 2*(a0/float64(n0)) {
+		t.Error("artifact axis ratios should dwarf compact sources")
+	}
+}
+
+func TestLOFARDefaultSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large generation")
+	}
+	rng := rand.New(rand.NewSource(10))
+	ds := LOFAR(LOFAROptions{}, rng)
+	if ds.Table.NumRows() != 200000 {
+		t.Fatalf("default rows = %d, want 200000", ds.Table.NumRows())
+	}
+}
+
+func TestGeneratorsDeterministicPerSeed(t *testing.T) {
+	a := Hollywood(rand.New(rand.NewSource(42)))
+	b := Hollywood(rand.New(rand.NewSource(42)))
+	for i := 0; i < 20; i++ {
+		ra, rb := a.Table.Row(i), b.Table.Row(i)
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("row %d differs across identical seeds", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/store"
+)
+
+// Hollywood generates the demo's first scenario (§4.2): "data about 900
+// Hollywood movies released between 2007 and 2013 ... 12 columns". The
+// generator plants three archetypes the demo narrates around
+// profitability and critical success:
+//
+//	cluster 0 — blockbusters: huge budgets, huge grosses, mixed reviews
+//	cluster 1 — critical darlings: small budgets, strong reviews, solid
+//	            profitability
+//	cluster 2 — flops: mid budgets, poor reviews, losses
+//
+// Planted truth is under "rows". Columns (12): Film, Genre, Studio, Year,
+// RottenTomatoes, AudienceScore, Budget, OpeningWeekend, DomesticGross,
+// ForeignGross, WorldwideGross, Profitability.
+func Hollywood(rng *rand.Rand) *Dataset {
+	const n = 900
+	genres := []string{"Action", "Comedy", "Drama", "Animation", "Horror", "Romance"}
+	studios := []string{"Universal", "Warner", "Disney", "Sony", "Paramount", "Fox", "Independent"}
+
+	film := store.NewStringColumn("Film")
+	genre := store.NewStringColumn("Genre")
+	studio := store.NewStringColumn("Studio")
+	year := store.NewIntColumn("Year")
+	rt := store.NewFloatColumn("RottenTomatoes")
+	aud := store.NewFloatColumn("AudienceScore")
+	budget := store.NewFloatColumn("Budget")
+	opening := store.NewFloatColumn("OpeningWeekend")
+	domestic := store.NewFloatColumn("DomesticGross")
+	foreign := store.NewFloatColumn("ForeignGross")
+	world := store.NewFloatColumn("WorldwideGross")
+	profit := store.NewFloatColumn("Profitability")
+
+	labels := make([]int, n)
+	clamp := func(v, lo, hi float64) float64 { return math.Max(lo, math.Min(hi, v)) }
+	for i := 0; i < n; i++ {
+		c := i % 3
+		labels[i] = c
+		film.Append(fmt.Sprintf("Movie %03d", i))
+		year.Append(int64(2007 + rng.Intn(7)))
+		var b, rtv, audv, mult float64
+		var g string
+		switch c {
+		case 0: // blockbusters
+			b = 120 + rng.NormFloat64()*35
+			rtv = 55 + rng.NormFloat64()*15
+			mult = 2.8 + rng.NormFloat64()*0.7
+			g = []string{"Action", "Animation"}[rng.Intn(2)]
+			studio.Append(studios[rng.Intn(5)])
+		case 1: // critical darlings
+			b = 15 + rng.NormFloat64()*6
+			rtv = 86 + rng.NormFloat64()*8
+			mult = 4.5 + rng.NormFloat64()*1.4
+			g = []string{"Drama", "Comedy", "Romance"}[rng.Intn(3)]
+			studio.Append([]string{"Independent", "Fox", "Sony"}[rng.Intn(3)])
+		default: // flops
+			b = 55 + rng.NormFloat64()*18
+			rtv = 30 + rng.NormFloat64()*11
+			mult = 0.7 + rng.NormFloat64()*0.3
+			g = genres[rng.Intn(len(genres))]
+			studio.Append(studios[rng.Intn(len(studios))])
+		}
+		b = clamp(b, 1, 300)
+		rtv = clamp(rtv, 2, 100)
+		audv = clamp(rtv+rng.NormFloat64()*10, 2, 100)
+		if mult < 0.1 {
+			mult = 0.1
+		}
+		w := b * mult
+		dShare := clamp(0.45+rng.NormFloat64()*0.1, 0.15, 0.85)
+		d := w * dShare
+		f := w - d
+		o := clamp(d*(0.25+rng.NormFloat64()*0.08), 0.2, d)
+		genre.Append(g)
+		rt.Append(math.Round(rtv))
+		aud.Append(math.Round(audv))
+		budget.Append(round1(b))
+		opening.Append(round1(o))
+		domestic.Append(round1(d))
+		foreign.Append(round1(f))
+		world.Append(round1(w))
+		profit.Append(round2(w / b))
+	}
+
+	t := store.NewTable("hollywood")
+	for _, c := range []store.Column{film, genre, studio, year, rt, aud, budget, opening, domestic, foreign, world, profit} {
+		t.MustAddColumn(c)
+	}
+	return &Dataset{
+		Table: t,
+		Themes: [][]string{
+			{"RottenTomatoes", "AudienceScore"},
+			{"Budget", "OpeningWeekend", "DomesticGross", "ForeignGross", "WorldwideGross", "Profitability"},
+		},
+		Truth: map[string][]int{"rows": labels},
+		K:     map[string]int{"rows": 3},
+	}
+}
+
+func round1(v float64) float64 { return math.Round(v*10) / 10 }
+func round2(v float64) float64 { return math.Round(v*100) / 100 }

@@ -1,0 +1,204 @@
+// Package eval provides external clustering-evaluation metrics (adjusted
+// Rand index, normalized mutual information, purity) used by the benchmark
+// harness to score Blaeu's recovered clusters and themes against the
+// planted ground truth of the synthetic datasets.
+package eval
+
+import (
+	"math"
+)
+
+// contingency builds the contingency table between two labelings, ignoring
+// pairs where either label is negative.
+func contingency(a, b []int) (cells map[[2]int]int, rowSum, colSum map[int]int, n int) {
+	cells = make(map[[2]int]int)
+	rowSum = make(map[int]int)
+	colSum = make(map[int]int)
+	m := len(a)
+	if len(b) < m {
+		m = len(b)
+	}
+	for i := 0; i < m; i++ {
+		if a[i] < 0 || b[i] < 0 {
+			continue
+		}
+		cells[[2]int{a[i], b[i]}]++
+		rowSum[a[i]]++
+		colSum[b[i]]++
+		n++
+	}
+	return
+}
+
+func comb2(n int) float64 { return float64(n) * float64(n-1) / 2 }
+
+// AdjustedRandIndex returns the ARI between two labelings: 1 for identical
+// partitions, ~0 for independent ones, negative for worse-than-chance.
+// Pairs with a negative label on either side are ignored.
+func AdjustedRandIndex(a, b []int) float64 {
+	cells, rowSum, colSum, n := contingency(a, b)
+	if n < 2 {
+		return 0
+	}
+	var sumCells, sumRows, sumCols float64
+	for _, c := range cells {
+		sumCells += comb2(c)
+	}
+	for _, c := range rowSum {
+		sumRows += comb2(c)
+	}
+	for _, c := range colSum {
+		sumCols += comb2(c)
+	}
+	total := comb2(n)
+	expected := sumRows * sumCols / total
+	maxIndex := (sumRows + sumCols) / 2
+	if maxIndex == expected {
+		return 1 // both partitions trivial and identical in structure
+	}
+	return (sumCells - expected) / (maxIndex - expected)
+}
+
+// NMI returns the normalized mutual information between two labelings,
+// I(A;B)/sqrt(H(A)H(B)), in [0,1]. Negative labels are ignored.
+func NMI(a, b []int) float64 {
+	cells, rowSum, colSum, n := contingency(a, b)
+	if n == 0 {
+		return 0
+	}
+	fn := float64(n)
+	var ha, hb, mi float64
+	for _, c := range rowSum {
+		p := float64(c) / fn
+		ha -= p * math.Log(p)
+	}
+	for _, c := range colSum {
+		p := float64(c) / fn
+		hb -= p * math.Log(p)
+	}
+	for k, c := range cells {
+		pxy := float64(c) / fn
+		px := float64(rowSum[k[0]]) / fn
+		py := float64(colSum[k[1]]) / fn
+		mi += pxy * math.Log(pxy/(px*py))
+	}
+	if ha <= 0 || hb <= 0 {
+		return 0
+	}
+	v := mi / math.Sqrt(ha*hb)
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// Purity returns the purity of labeling pred against truth: each predicted
+// cluster votes for its dominant true class. In [0,1], 1 = every predicted
+// cluster contains a single true class.
+func Purity(truth, pred []int) float64 {
+	cells, _, colSum, n := contingency(truth, pred)
+	if n == 0 {
+		return 0
+	}
+	best := make(map[int]int)
+	for k, c := range cells {
+		if c > best[k[1]] {
+			best[k[1]] = c
+		}
+	}
+	sum := 0
+	for cl := range colSum {
+		sum += best[cl]
+	}
+	return float64(sum) / float64(n)
+}
+
+// ConfusionMatrix returns counts[t][p] over classes 0..kTruth-1 and
+// 0..kPred-1 (negative labels skipped).
+func ConfusionMatrix(truth, pred []int, kTruth, kPred int) [][]int {
+	m := make([][]int, kTruth)
+	for i := range m {
+		m[i] = make([]int, kPred)
+	}
+	n := len(truth)
+	if len(pred) < n {
+		n = len(pred)
+	}
+	for i := 0; i < n; i++ {
+		t, p := truth[i], pred[i]
+		if t >= 0 && t < kTruth && p >= 0 && p < kPred {
+			m[t][p]++
+		}
+	}
+	return m
+}
+
+// Accuracy returns the fraction of positions where the labels agree
+// exactly (negative labels skipped). Use ARI/NMI when cluster IDs are
+// arbitrary.
+func Accuracy(truth, pred []int) float64 {
+	n := len(truth)
+	if len(pred) < n {
+		n = len(pred)
+	}
+	seen, hit := 0, 0
+	for i := 0; i < n; i++ {
+		if truth[i] < 0 || pred[i] < 0 {
+			continue
+		}
+		seen++
+		if truth[i] == pred[i] {
+			hit++
+		}
+	}
+	if seen == 0 {
+		return 0
+	}
+	return float64(hit) / float64(seen)
+}
+
+// SetRecovery scores how well predicted groups of named items match truth
+// groups: for each truth group it finds the best-Jaccard predicted group
+// and averages the Jaccard scores, weighted by truth-group size. Used for
+// theme-recovery scoring where themes are sets of column names.
+func SetRecovery(truth, pred [][]string) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	total, weight := 0.0, 0
+	for _, tg := range truth {
+		best := 0.0
+		for _, pg := range pred {
+			if j := jaccard(tg, pg); j > best {
+				best = j
+			}
+		}
+		total += best * float64(len(tg))
+		weight += len(tg)
+	}
+	if weight == 0 {
+		return 0
+	}
+	return total / float64(weight)
+}
+
+func jaccard(a, b []string) float64 {
+	set := make(map[string]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	inter := 0
+	for _, x := range b {
+		if set[x] {
+			inter++
+		}
+	}
+	union := len(set) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

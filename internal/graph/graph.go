@@ -1,0 +1,326 @@
+// Package graph implements the dependency graph behind Blaeu's theme
+// detection (paper Fig. 2): a weighted undirected graph whose vertices are
+// columns and whose edge weights are statistical dependencies (normalized
+// mutual information), partitioned into themes with PAM.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+	"repro/internal/store"
+)
+
+// Graph is a dense weighted undirected graph over named vertices. Weights
+// are similarities in [0,1] (1 = fully dependent columns).
+type Graph struct {
+	names  []string
+	index  map[string]int
+	weight [][]float64
+}
+
+// New returns a graph over the given vertex names with zero weights.
+func New(names []string) *Graph {
+	g := &Graph{names: names, index: make(map[string]int, len(names))}
+	for i, n := range names {
+		g.index[n] = i
+	}
+	g.weight = make([][]float64, len(names))
+	for i := range g.weight {
+		g.weight[i] = make([]float64, len(names))
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.names) }
+
+// Names returns the vertex names in index order.
+func (g *Graph) Names() []string { return g.names }
+
+// Index returns the index of a named vertex, or -1.
+func (g *Graph) Index(name string) int {
+	i, ok := g.index[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// SetWeight sets the symmetric edge weight between vertices i and j.
+func (g *Graph) SetWeight(i, j int, w float64) {
+	g.weight[i][j] = w
+	g.weight[j][i] = w
+}
+
+// Weight returns the edge weight between vertices i and j.
+func (g *Graph) Weight(i, j int) float64 { return g.weight[i][j] }
+
+// Edge is one weighted edge, I < J.
+type Edge struct {
+	I, J   int
+	Weight float64
+}
+
+// Edges returns all edges with weight above min, heaviest first.
+func (g *Graph) Edges(min float64) []Edge {
+	var out []Edge
+	for i := 0; i < g.N(); i++ {
+		for j := i + 1; j < g.N(); j++ {
+			if w := g.weight[i][j]; w > min {
+				out = append(out, Edge{I: i, J: j, Weight: w})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Weight != out[b].Weight {
+			return out[a].Weight > out[b].Weight
+		}
+		if out[a].I != out[b].I {
+			return out[a].I < out[b].I
+		}
+		return out[a].J < out[b].J
+	})
+	return out
+}
+
+// DependencyOptions tunes dependency-graph construction.
+type DependencyOptions struct {
+	// SampleRows caps the number of rows used to estimate each pairwise
+	// dependency (0 = all rows). The paper keeps latency low by
+	// estimating statistics on samples (§3).
+	SampleRows int
+	// Bins is the discretization granularity for continuous columns
+	// (default stats.DefaultBins).
+	Bins int
+	// Measure selects the dependency measure (default MeasureNMI).
+	Measure Measure
+	// Rand is required when SampleRows > 0.
+	Rand *rand.Rand
+}
+
+// Measure selects the pairwise dependency statistic.
+type Measure int
+
+const (
+	// MeasureNMI is normalized mutual information — the paper's choice:
+	// "it copes with mixed values and it is sensitive to non-linear
+	// relationships" (§3).
+	MeasureNMI Measure = iota
+	// MeasureAbsPearson is |Pearson correlation|, the ablation baseline.
+	MeasureAbsPearson
+)
+
+// String names the measure.
+func (m Measure) String() string {
+	if m == MeasureAbsPearson {
+		return "abs-pearson"
+	}
+	return "nmi"
+}
+
+// BuildDependencyGraph computes the pairwise dependency between every pair
+// of the given columns of t (all columns when names is nil) and returns
+// the weighted graph.
+func BuildDependencyGraph(t *store.Table, names []string, opts DependencyOptions) (*Graph, error) {
+	if names == nil {
+		names = t.ColumnNames()
+	}
+	if opts.Bins <= 0 {
+		opts.Bins = stats.DefaultBins
+	}
+	cols := make([]store.Column, len(names))
+	for i, n := range names {
+		c := t.ColumnByName(n)
+		if c == nil {
+			return nil, fmt.Errorf("graph: no column %q", n)
+		}
+		cols[i] = c
+	}
+	// Optionally subsample rows once, shared across all pairs, so the
+	// pairwise estimates stay mutually consistent.
+	if opts.SampleRows > 0 && opts.SampleRows < t.NumRows() {
+		if opts.Rand == nil {
+			return nil, fmt.Errorf("graph: SampleRows set but no random source")
+		}
+		rows := store.SampleIndices(t.NumRows(), opts.SampleRows, opts.Rand)
+		for i, c := range cols {
+			cols[i] = c.Gather(rows)
+		}
+	}
+
+	g := New(names)
+	switch opts.Measure {
+	case MeasureAbsPearson:
+		vals := make([][]float64, len(cols))
+		for i, c := range cols {
+			v := make([]float64, c.Len())
+			for r := 0; r < c.Len(); r++ {
+				v[r] = c.Float(r)
+			}
+			vals[i] = v
+		}
+		for i := range cols {
+			for j := i + 1; j < len(cols); j++ {
+				r := stats.Pearson(vals[i], vals[j])
+				if r < 0 {
+					r = -r
+				}
+				g.SetWeight(i, j, r)
+			}
+		}
+	default:
+		disc := make([][]int, len(cols))
+		for i, c := range cols {
+			disc[i] = stats.DiscretizeColumn(c, opts.Bins, stats.EqualFrequency)
+		}
+		// O(cols²) NMI computations are independent: spread rows of the
+		// upper triangle across CPUs (disjoint writes per row i).
+		parallelRows(len(cols), func(i int) {
+			for j := i + 1; j < len(cols); j++ {
+				g.SetWeight(i, j, stats.NormalizedMI(disc[i], disc[j]))
+			}
+		})
+	}
+	return g, nil
+}
+
+// parallelRows runs f(i) for i in [0,n) across CPUs. f must only touch
+// state owned by its row.
+func parallelRows(n int, f func(i int)) {
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 16 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// oracle adapts the graph to cluster.Oracle with distance = 1 - weight.
+type oracle struct{ g *Graph }
+
+func (o oracle) N() int { return o.g.N() }
+func (o oracle) Dist(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	d := 1 - o.g.weight[i][j]
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Oracle returns a cluster.Oracle view of the graph where dissimilarity is
+// 1 - weight, suitable for PAM partitioning.
+func (g *Graph) Oracle() cluster.Oracle { return oracle{g} }
+
+// Partition splits the graph's vertices into k groups with PAM, minimizing
+// the aggregated dissimilarity (1 - dependency) between vertices and their
+// medoid — exactly the theme-creation step of paper §3.
+func (g *Graph) Partition(k int) (*cluster.Clustering, error) {
+	return cluster.PAM(g.Oracle(), k)
+}
+
+// AutoPartition chooses the number of themes with the silhouette criterion.
+func (g *Graph) AutoPartition(kMin, kMax int, rng *rand.Rand) (*cluster.Clustering, error) {
+	return cluster.AutoK(g.Oracle(), cluster.AutoKOptions{
+		KMin: kMin, KMax: kMax, Method: cluster.MethodPAM, Rand: rng,
+	})
+}
+
+// Components returns the connected components of the graph after dropping
+// edges with weight <= threshold — the simple alternative to PAM
+// partitioning, used as a baseline.
+func (g *Graph) Components(threshold float64) [][]int {
+	n := g.N()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if g.weight[i][j] > threshold {
+				union(i, j)
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, members := range groups {
+		out = append(out, members)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}
+
+// MaximumSpanningTree returns the edges of a maximum-weight spanning
+// forest (Kruskal on negated weights); useful for rendering the dependency
+// graph sparsely, as in paper Fig. 2.
+func (g *Graph) MaximumSpanningTree() []Edge {
+	edges := g.Edges(0)
+	parent := make([]int, g.N())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	var out []Edge
+	for _, e := range edges {
+		ri, rj := find(e.I), find(e.J)
+		if ri != rj {
+			parent[ri] = rj
+			out = append(out, e)
+		}
+	}
+	return out
+}

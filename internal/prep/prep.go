@@ -1,0 +1,275 @@
+// Package prep implements the preprocessing stage of Blaeu's mapping
+// pipeline (paper Fig. 3 and §3): it removes primary keys, normalizes
+// continuous variables, represents categorical data with dummy binary
+// variables (one per category), and handles missing values. The result of
+// fitting and applying a pipeline is "a set of vectors, where each vector
+// represents a tuple in the database".
+package prep
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/store"
+)
+
+// Imputation selects how missing numeric values are filled.
+type Imputation int
+
+const (
+	// ImputeMean fills missing values with the column mean (default).
+	ImputeMean Imputation = iota
+	// ImputeMedian fills with the column median.
+	ImputeMedian
+	// ImputeNone keeps NaNs; downstream distances must then handle them
+	// (the stats metrics do, via pairwise deletion).
+	ImputeNone
+)
+
+// Options tunes the preprocessing pipeline.
+type Options struct {
+	// DropKeys removes probable primary-key columns (default true via
+	// NewOptions; zero value keeps them).
+	DropKeys bool
+	// Normalization rescales continuous variables (default ZScore).
+	Normalization stats.Normalization
+	// Imputation fills missing numeric values (default ImputeMean).
+	Imputation Imputation
+	// MaxDummyLevels caps the number of dummy variables per categorical
+	// column; less frequent levels share no dummy (all-zero row).
+	// Default 20.
+	MaxDummyLevels int
+	// DummyWeight scales dummy variables so a categorical mismatch is
+	// comparable to a normalized numeric gap (default 1).
+	DummyWeight float64
+	// MaxCardinalityRatio drops categorical columns whose distinct-value
+	// ratio exceeds this bound (free-text / identifier columns carry no
+	// cluster structure). Default 0.5.
+	MaxCardinalityRatio float64
+}
+
+// NewOptions returns the default pipeline configuration.
+func NewOptions() Options {
+	return Options{
+		DropKeys:            true,
+		Normalization:       stats.ZScore,
+		Imputation:          ImputeMean,
+		MaxDummyLevels:      20,
+		DummyWeight:         1,
+		MaxCardinalityRatio: 0.5,
+	}
+}
+
+func (o *Options) defaults() {
+	if o.MaxDummyLevels <= 0 {
+		o.MaxDummyLevels = 20
+	}
+	if o.DummyWeight <= 0 {
+		o.DummyWeight = 1
+	}
+	if o.MaxCardinalityRatio <= 0 {
+		o.MaxCardinalityRatio = 0.5
+	}
+}
+
+// featureKind tags how one input column maps to output dimensions.
+type featureKind int
+
+const (
+	kindNumeric featureKind = iota
+	kindBool
+	kindDummy
+)
+
+type feature struct {
+	col    string
+	kind   featureKind
+	scaler stats.Scaler
+	fill   float64  // imputation value for numeric
+	levels []string // dummy levels for categorical
+}
+
+// Pipeline is a fitted preprocessing transform. Fit on one selection, it
+// can vectorize the same or compatible tables (same column names/types).
+type Pipeline struct {
+	opts     Options
+	features []feature
+	names    []string // output dimension names
+	dropped  []string // columns removed (keys, high-cardinality, constant)
+}
+
+// Fit learns a preprocessing pipeline on the given columns of t (all
+// columns when cols is nil).
+func Fit(t *store.Table, cols []string, opts Options) (*Pipeline, error) {
+	opts.defaults()
+	if cols == nil {
+		cols = t.ColumnNames()
+	}
+	p := &Pipeline{opts: opts}
+	for _, name := range cols {
+		c := t.ColumnByName(name)
+		if c == nil {
+			return nil, fmt.Errorf("prep: no column %q", name)
+		}
+		if opts.DropKeys && store.IsLikelyKey(c) {
+			p.dropped = append(p.dropped, name)
+			continue
+		}
+		switch c.Type() {
+		case store.Float64, store.Int64:
+			vals := make([]float64, c.Len())
+			for i := range vals {
+				vals[i] = c.Float(i)
+			}
+			sc := stats.FitScaler(vals, opts.Normalization)
+			var fill float64
+			switch opts.Imputation {
+			case ImputeMedian:
+				fill = stats.Median(vals)
+			case ImputeNone:
+				fill = math.NaN()
+			default:
+				fill = stats.Mean(vals)
+			}
+			if math.IsNaN(fill) && opts.Imputation != ImputeNone {
+				fill = 0 // all-null column
+			}
+			p.features = append(p.features, feature{col: name, kind: kindNumeric, scaler: sc, fill: fill})
+			p.names = append(p.names, name)
+		case store.Bool:
+			p.features = append(p.features, feature{col: name, kind: kindBool})
+			p.names = append(p.names, name)
+		case store.String:
+			sc := c.(*store.StringColumn)
+			nonNull := c.Len() - c.NullCount()
+			if nonNull > 0 && float64(sc.Cardinality())/float64(nonNull) > opts.MaxCardinalityRatio && sc.Cardinality() > opts.MaxDummyLevels {
+				p.dropped = append(p.dropped, name)
+				continue
+			}
+			levels := topLevels(sc, opts.MaxDummyLevels)
+			if len(levels) < 2 {
+				p.dropped = append(p.dropped, name) // constant: no signal
+				continue
+			}
+			p.features = append(p.features, feature{col: name, kind: kindDummy, levels: levels})
+			for _, lv := range levels {
+				p.names = append(p.names, name+"="+lv)
+			}
+		}
+	}
+	if len(p.features) == 0 {
+		return nil, fmt.Errorf("prep: no usable columns after preprocessing (dropped %v)", p.dropped)
+	}
+	return p, nil
+}
+
+func topLevels(c *store.StringColumn, max int) []string {
+	freq := make(map[string]int)
+	for i := 0; i < c.Len(); i++ {
+		if !c.IsNull(i) {
+			freq[c.Value(i)]++
+		}
+	}
+	levels := make([]string, 0, len(freq))
+	for v := range freq {
+		levels = append(levels, v)
+	}
+	sort.Slice(levels, func(i, j int) bool {
+		if freq[levels[i]] != freq[levels[j]] {
+			return freq[levels[i]] > freq[levels[j]]
+		}
+		return levels[i] < levels[j]
+	})
+	if len(levels) > max {
+		levels = levels[:max]
+	}
+	sort.Strings(levels)
+	return levels
+}
+
+// Dim returns the output vector dimensionality.
+func (p *Pipeline) Dim() int { return len(p.names) }
+
+// FeatureNames returns the output dimension names (dummies are
+// "column=level").
+func (p *Pipeline) FeatureNames() []string { return p.names }
+
+// Dropped returns the input columns the pipeline removed and why they
+// carry no cluster signal (keys, constants, identifier-like text).
+func (p *Pipeline) Dropped() []string { return p.dropped }
+
+// UsedColumns returns the input columns that contribute dimensions.
+func (p *Pipeline) UsedColumns() []string {
+	out := make([]string, len(p.features))
+	for i, f := range p.features {
+		out[i] = f.col
+	}
+	return out
+}
+
+// Transform vectorizes every row of t. The table must contain the fitted
+// columns.
+func (p *Pipeline) Transform(t *store.Table) ([][]float64, error) {
+	n := t.NumRows()
+	cols := make([]store.Column, len(p.features))
+	for i, f := range p.features {
+		c := t.ColumnByName(f.col)
+		if c == nil {
+			return nil, fmt.Errorf("prep: transform table lacks column %q", f.col)
+		}
+		cols[i] = c
+	}
+	out := make([][]float64, n)
+	for r := 0; r < n; r++ {
+		v := make([]float64, 0, p.Dim())
+		for fi, f := range p.features {
+			c := cols[fi]
+			switch f.kind {
+			case kindNumeric:
+				x := c.Float(r)
+				if math.IsNaN(x) {
+					// Impute on the original scale, then normalize, so the
+					// fill lands where the column mean/median lands.
+					x = f.fill
+				}
+				v = append(v, f.scaler.Apply(x)) // NaN (ImputeNone) passes through
+			case kindBool:
+				x := c.Float(r)
+				if math.IsNaN(x) {
+					x = 0.5 // unknown boolean sits between the classes
+				}
+				v = append(v, x*p.opts.DummyWeight)
+			case kindDummy:
+				val := ""
+				null := c.IsNull(r)
+				if !null {
+					val = c.StringAt(r)
+				}
+				for _, lv := range f.levels {
+					if !null && val == lv {
+						v = append(v, p.opts.DummyWeight)
+					} else {
+						v = append(v, 0)
+					}
+				}
+			}
+		}
+		out[r] = v
+	}
+	return out, nil
+}
+
+// FitTransform fits a pipeline and vectorizes in one call.
+func FitTransform(t *store.Table, cols []string, opts Options) (*Pipeline, [][]float64, error) {
+	p, err := Fit(t, cols, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	vecs, err := p.Transform(t)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, vecs, nil
+}

@@ -1,0 +1,331 @@
+package prep
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/store"
+)
+
+func mixedTable() *store.Table {
+	t := store.NewTable("mixed")
+	ids := make([]int64, 100)
+	incomes := make([]float64, 100)
+	cats := make([]string, 100)
+	flags := make([]bool, 100)
+	for i := range ids {
+		ids[i] = int64(i)
+		incomes[i] = float64(20 + i%10)
+		cats[i] = []string{"low", "mid", "high"}[i%3]
+		flags[i] = i%2 == 0
+	}
+	t.MustAddColumn(store.NewIntColumnFrom("id", ids))
+	t.MustAddColumn(store.NewFloatColumnFrom("income", incomes))
+	t.MustAddColumn(store.NewStringColumnFrom("band", cats))
+	t.MustAddColumn(store.NewBoolColumnFrom("flag", flags))
+	return t
+}
+
+func TestFitDropsKeys(t *testing.T) {
+	tab := mixedTable()
+	p, err := Fit(tab, nil, NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range p.Dropped() {
+		if d == "id" {
+			return
+		}
+	}
+	t.Errorf("id should be dropped as a key; dropped = %v", p.Dropped())
+}
+
+func TestFitKeepsKeysWhenDisabled(t *testing.T) {
+	tab := mixedTable()
+	opts := NewOptions()
+	opts.DropKeys = false
+	p, err := Fit(tab, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, u := range p.UsedColumns() {
+		if u == "id" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("id should survive when DropKeys is off")
+	}
+}
+
+func TestTransformShapeAndNames(t *testing.T) {
+	tab := mixedTable()
+	p, vecs, err := FitTransform(tab, nil, NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// income (1) + band dummies (3) + flag (1) = 5 dims.
+	if p.Dim() != 5 {
+		t.Fatalf("dim = %d, want 5; names = %v", p.Dim(), p.FeatureNames())
+	}
+	if len(vecs) != 100 || len(vecs[0]) != 5 {
+		t.Fatalf("vecs shape = %dx%d", len(vecs), len(vecs[0]))
+	}
+	names := p.FeatureNames()
+	wantNames := map[string]bool{"income": true, "band=high": true, "band=low": true, "band=mid": true, "flag": true}
+	for _, n := range names {
+		if !wantNames[n] {
+			t.Errorf("unexpected feature name %q", n)
+		}
+	}
+}
+
+func TestTransformNormalizes(t *testing.T) {
+	tab := mixedTable()
+	p, vecs, err := FitTransform(tab, []string{"income"}, NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dim() != 1 {
+		t.Fatal("want single dim")
+	}
+	// Z-scored column: mean ~0, std ~1.
+	col := make([]float64, len(vecs))
+	for i, v := range vecs {
+		col[i] = v[0]
+	}
+	if m := stats.Mean(col); math.Abs(m) > 1e-9 {
+		t.Errorf("normalized mean = %g", m)
+	}
+	if s := stats.StdDev(col); math.Abs(s-1) > 1e-9 {
+		t.Errorf("normalized std = %g", s)
+	}
+}
+
+func TestDummyEncoding(t *testing.T) {
+	tab := mixedTable()
+	p, vecs, err := FitTransform(tab, []string{"band"}, NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dim() != 3 {
+		t.Fatalf("dim = %d", p.Dim())
+	}
+	for r, v := range vecs {
+		ones := 0.0
+		for _, x := range v {
+			ones += x
+		}
+		if ones != 1 {
+			t.Fatalf("row %d dummies sum to %g, want exactly one hot", r, ones)
+		}
+	}
+}
+
+func TestMissingValueImputation(t *testing.T) {
+	tab := store.NewTable("t")
+	c := store.NewFloatColumn("x")
+	c.Append(0)
+	c.Append(10)
+	c.AppendNull()
+	tab.MustAddColumn(c)
+
+	opts := NewOptions()
+	opts.Normalization = stats.NoNormalization
+	p, vecs, err := FitTransform(tab, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dim() != 1 {
+		t.Fatal("dim wrong")
+	}
+	if vecs[2][0] != 5 { // mean of {0,10}
+		t.Errorf("imputed = %g, want mean 5", vecs[2][0])
+	}
+
+	opts.Imputation = ImputeMedian
+	_, vecs, err = FitTransform(tab, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vecs[2][0] != 5 {
+		t.Errorf("median imputed = %g", vecs[2][0])
+	}
+
+	opts.Imputation = ImputeNone
+	_, vecs, err = FitTransform(tab, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(vecs[2][0]) {
+		t.Errorf("ImputeNone should keep NaN, got %g", vecs[2][0])
+	}
+}
+
+func TestImputationNormalizedScale(t *testing.T) {
+	// With z-score normalization, an imputed mean must land at 0.
+	tab := store.NewTable("t")
+	c := store.NewFloatColumn("x")
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		c.Append(v)
+	}
+	c.AppendNull()
+	tab.MustAddColumn(c)
+	_, vecs, err := FitTransform(tab, nil, NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vecs[5][0]) > 1e-9 {
+		t.Errorf("imputed z-scored mean = %g, want 0", vecs[5][0])
+	}
+}
+
+func TestNullCategoricalAllZero(t *testing.T) {
+	tab := store.NewTable("t")
+	c := store.NewStringColumn("s")
+	c.Append("a")
+	c.Append("b")
+	c.AppendNull()
+	c.Append("a")
+	c.Append("b")
+	tab.MustAddColumn(c)
+	_, vecs, err := FitTransform(tab, nil, NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range vecs[2] {
+		if x != 0 {
+			t.Errorf("null categorical row = %v, want all zeros", vecs[2])
+		}
+	}
+}
+
+func TestHighCardinalityDropped(t *testing.T) {
+	tab := store.NewTable("t")
+	vals := make([]string, 100)
+	keep := make([]string, 100)
+	for i := range vals {
+		vals[i] = "user-" + string(rune('a'+i%26)) + string(rune('0'+i/26)) + string(rune('0'+i%10))
+		keep[i] = []string{"x", "y"}[i%2]
+	}
+	tab.MustAddColumn(store.NewStringColumnFrom("freetext", vals))
+	tab.MustAddColumn(store.NewStringColumnFrom("cat", keep))
+	opts := NewOptions()
+	opts.DropKeys = false
+	p, err := Fit(tab, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range p.UsedColumns() {
+		if u == "freetext" {
+			t.Error("high-cardinality text should be dropped")
+		}
+	}
+	if len(p.UsedColumns()) != 1 || p.UsedColumns()[0] != "cat" {
+		t.Errorf("used = %v", p.UsedColumns())
+	}
+}
+
+func TestConstantCategoricalDropped(t *testing.T) {
+	tab := store.NewTable("t")
+	tab.MustAddColumn(store.NewStringColumnFrom("const", []string{"a", "a", "a", "a"}))
+	tab.MustAddColumn(store.NewFloatColumnFrom("x", []float64{1, 2, 3, 4}))
+	p, err := Fit(tab, nil, NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.UsedColumns()) != 1 || p.UsedColumns()[0] != "x" {
+		t.Errorf("used = %v, dropped = %v", p.UsedColumns(), p.Dropped())
+	}
+}
+
+func TestMaxDummyLevels(t *testing.T) {
+	tab := store.NewTable("t")
+	vals := make([]string, 300)
+	for i := range vals {
+		vals[i] = string(rune('a' + i%30)) // 30 levels
+	}
+	tab.MustAddColumn(store.NewStringColumnFrom("c", vals))
+	opts := NewOptions()
+	opts.MaxDummyLevels = 5
+	p, err := Fit(tab, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dim() != 5 {
+		t.Errorf("dim = %d, want capped 5", p.Dim())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tab := mixedTable()
+	if _, err := Fit(tab, []string{"zzz"}, NewOptions()); err == nil {
+		t.Error("unknown column should fail")
+	}
+	only := store.NewTable("keys")
+	ids := make([]int64, 50)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	only.MustAddColumn(store.NewIntColumnFrom("id", ids))
+	if _, err := Fit(only, nil, NewOptions()); err == nil {
+		t.Error("table with only a key column should fail")
+	}
+	p, _ := Fit(tab, []string{"income"}, NewOptions())
+	other := store.NewTable("other")
+	other.MustAddColumn(store.NewFloatColumnFrom("different", []float64{1}))
+	if _, err := p.Transform(other); err == nil {
+		t.Error("transform on incompatible table should fail")
+	}
+}
+
+func TestTransformOnNewRows(t *testing.T) {
+	// Fit on one table, transform another with the same schema: scalers
+	// must come from the fit table.
+	fitTab := store.NewTable("fit")
+	fitTab.MustAddColumn(store.NewFloatColumnFrom("x", []float64{0, 10}))
+	newTab := store.NewTable("new")
+	newTab.MustAddColumn(store.NewFloatColumnFrom("x", []float64{5}))
+	opts := NewOptions()
+	opts.Normalization = stats.MinMax
+	p, err := Fit(fitTab, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs, err := p.Transform(newTab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vecs[0][0] != 0.5 {
+		t.Errorf("transform = %g, want 0.5 on fitted [0,10] scale", vecs[0][0])
+	}
+}
+
+func TestBoolNullMidpoint(t *testing.T) {
+	tab := store.NewTable("t")
+	c := store.NewBoolColumn("b")
+	c.Append(true)
+	c.Append(false)
+	c.AppendNull()
+	tab.MustAddColumn(c)
+	tab.MustAddColumn(store.NewFloatColumnFrom("x", []float64{1, 2, 3}))
+	_, vecs, err := FitTransform(tab, nil, NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi := -1
+	p, _ := Fit(tab, nil, NewOptions())
+	for i, n := range p.FeatureNames() {
+		if n == "b" {
+			bi = i
+		}
+	}
+	if bi < 0 {
+		t.Fatal("bool feature missing")
+	}
+	if vecs[2][bi] != 0.5 {
+		t.Errorf("null bool = %g, want 0.5", vecs[2][bi])
+	}
+}

@@ -1,0 +1,49 @@
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// DependencyGraph renders a dependency graph as text (the terminal
+// analogue of paper Fig. 2): the strongest edges as an adjacency list,
+// plus the maximum spanning tree as a sparse sketch of the structure.
+func DependencyGraph(g *graph.Graph, minWeight float64, maxEdges int) string {
+	if maxEdges <= 0 {
+		maxEdges = 30
+	}
+	var sb strings.Builder
+	edges := g.Edges(minWeight)
+	fmt.Fprintf(&sb, "Dependency graph: %d columns, %d edges above %.2f\n",
+		g.N(), len(edges), minWeight)
+	shown := edges
+	if len(shown) > maxEdges {
+		shown = shown[:maxEdges]
+	}
+	for _, e := range shown {
+		bar := int(e.Weight * 20)
+		fmt.Fprintf(&sb, "  %-32s %-32s %.3f %s\n",
+			clip(g.Names()[e.I], 32), clip(g.Names()[e.J], 32), e.Weight,
+			strings.Repeat("#", bar))
+	}
+	if len(edges) > maxEdges {
+		fmt.Fprintf(&sb, "  ... (%d more edges)\n", len(edges)-maxEdges)
+	}
+	mst := g.MaximumSpanningTree()
+	if len(mst) > 0 {
+		sb.WriteString("Maximum spanning tree (backbone):\n")
+		limit := mst
+		if len(limit) > maxEdges {
+			limit = limit[:maxEdges]
+		}
+		for _, e := range limit {
+			fmt.Fprintf(&sb, "  %s --(%.2f)-- %s\n", g.Names()[e.I], e.Weight, g.Names()[e.J])
+		}
+		if len(mst) > maxEdges {
+			fmt.Fprintf(&sb, "  ... (%d more edges)\n", len(mst)-maxEdges)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,185 @@
+package render
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/graph"
+)
+
+func graphFixture() *graph.Graph {
+	g := graph.New([]string{"Unemployment", "LongTermUnemployment", "HealthSpending", "LifeExpectancy"})
+	g.SetWeight(0, 1, 0.8)
+	g.SetWeight(2, 3, 0.7)
+	g.SetWeight(0, 2, 0.15)
+	return g
+}
+
+func testMap(t *testing.T) (*core.Explorer, *core.Map) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	ds := datagen.PlantedBlobs(datagen.BlobSpec{N: 600, K: 3, Dims: 4, Sep: 8}, rng)
+	e, err := core.NewExplorer(ds.Table, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.SelectTheme(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, m
+}
+
+func TestASCIIMap(t *testing.T) {
+	_, m := testMap(t)
+	out := ASCIIMap(m, 72, 18)
+	if !strings.Contains(out, "Data map") || !strings.Contains(out, "cluster") {
+		t.Errorf("ascii map:\n%s", out)
+	}
+	// Every leaf appears.
+	for _, l := range m.Root.Leaves() {
+		if !strings.Contains(out, "n="+itoa(l.Count())) {
+			t.Errorf("leaf n=%d missing from map", l.Count())
+		}
+	}
+	// Tiny dimensions are clamped, not crashed.
+	if ASCIIMap(m, 1, 1) == "" {
+		t.Error("clamped render empty")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestASCIIHistogram(t *testing.T) {
+	e, _ := testMap(t)
+	h, err := e.RegionHistogram("v0", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ASCIIHistogram(h, 30)
+	if !strings.Contains(out, "█") || !strings.Contains(out, "v0") {
+		t.Errorf("histogram:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 7 { // title + 6 bins
+		t.Errorf("histogram lines = %d, want 7", lines)
+	}
+}
+
+func TestThemeList(t *testing.T) {
+	e, _ := testMap(t)
+	out := ThemeList(e.Themes())
+	if !strings.Contains(out, "cohesion") {
+		t.Errorf("theme list:\n%s", out)
+	}
+}
+
+func TestSquarifyAreasProportional(t *testing.T) {
+	_, m := testMap(t)
+	rects := Squarify(m, 400, 300)
+	leaves := m.Root.Leaves()
+	if len(rects) != len(leaves) {
+		t.Fatalf("rects = %d, leaves = %d", len(rects), len(leaves))
+	}
+	total := 0
+	for _, l := range leaves {
+		total += l.Count()
+	}
+	areaSum := 0.0
+	for _, r := range rects {
+		if r.W <= 0 || r.H <= 0 {
+			t.Fatalf("degenerate rect %+v", r)
+		}
+		if r.X < -1e-9 || r.Y < -1e-9 || r.X+r.W > 400+1e-6 || r.Y+r.H > 300+1e-6 {
+			t.Fatalf("rect out of canvas: %+v", r)
+		}
+		areaSum += r.W * r.H
+		wantArea := float64(r.Count) / float64(total) * 400 * 300
+		if math.Abs(r.W*r.H-wantArea) > 1e-6*wantArea+1e-6 {
+			t.Errorf("rect area %.1f, want %.1f for count %d", r.W*r.H, wantArea, r.Count)
+		}
+	}
+	if math.Abs(areaSum-400*300) > 1 {
+		t.Errorf("total area %.1f, want 120000", areaSum)
+	}
+}
+
+func TestSVGMapWellFormed(t *testing.T) {
+	_, m := testMap(t)
+	svg := SVGMap(m, 640, 480)
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Error("not an svg document")
+	}
+	if strings.Count(svg, "<rect") != len(m.Root.Leaves()) {
+		t.Errorf("rect count = %d, want %d", strings.Count(svg, "<rect"), len(m.Root.Leaves()))
+	}
+}
+
+func TestDependencyGraphRender(t *testing.T) {
+	g := graphFixture()
+	out := DependencyGraph(g, 0.1, 30)
+	for _, want := range []string{"Dependency graph", "Unemployment", "spanning tree", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// maxEdges truncation.
+	out = DependencyGraph(g, 0.0, 1)
+	if !strings.Contains(out, "more edges") {
+		t.Errorf("truncation note missing:\n%s", out)
+	}
+}
+
+func TestASCIIScatter(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := []float64{0, 1, 2, 3, 4, 5}
+	out := ASCIIScatter(xs, ys, 20, 8)
+	if !strings.Contains(out, "·") {
+		t.Errorf("no points drawn:\n%s", out)
+	}
+	if !strings.Contains(out, "x ∈ [0, 5]") || !strings.Contains(out, "y ∈ [0, 5]") {
+		t.Errorf("axis ranges missing:\n%s", out)
+	}
+	if ASCIIScatter(nil, nil, 20, 8) != "(no points)\n" {
+		t.Error("empty scatter wrong")
+	}
+	// Constant data must not divide by zero.
+	if out := ASCIIScatter([]float64{1, 1}, []float64{2, 2}, 20, 8); !strings.Contains(out, "·") && !strings.Contains(out, "•") {
+		t.Errorf("constant scatter:\n%s", out)
+	}
+	// Dense data escalates glyphs.
+	dense := make([]float64, 500)
+	out = ASCIIScatter(dense, dense, 10, 4)
+	if !strings.Contains(out, "█") {
+		t.Errorf("dense cell should use █:\n%s", out)
+	}
+}
+
+func TestEscapeXML(t *testing.T) {
+	if escapeXML(`a<b & "c"`) != "a&lt;b &amp; &quot;c&quot;" {
+		t.Errorf("escape = %q", escapeXML(`a<b & "c"`))
+	}
+}
+
+func TestClip(t *testing.T) {
+	if clip("hello", 10) != "hello" {
+		t.Error("no-op clip wrong")
+	}
+	if got := clip("hello world", 8); len([]rune(got)) != 8 || !strings.HasSuffix(got, "…") {
+		t.Errorf("clip = %q", got)
+	}
+}

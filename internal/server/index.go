@@ -1,0 +1,143 @@
+package server
+
+// indexHTML is the embedded single-page client: the HTML/JS tier of the
+// paper's architecture (Fig. 4). It lists datasets and themes, renders the
+// map as nested boxes sized by tuple count, and drives the four actions
+// (zoom / highlight / project / rollback) against the JSON API.
+const indexHTML = `<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>Blaeu — Mapping and Navigating Large Tables</title>
+<style>
+ body { font-family: sans-serif; margin: 0; display: flex; height: 100vh; }
+ #side { width: 330px; padding: 12px; overflow-y: auto; background: #f4f4f6; border-right: 1px solid #ccc; }
+ #main { flex: 1; padding: 12px; overflow-y: auto; }
+ h1 { font-size: 18px; } h2 { font-size: 14px; margin: 12px 0 4px; }
+ .theme { padding: 6px 8px; margin: 3px 0; background: #fff; border: 1px solid #ddd;
+          border-radius: 4px; cursor: pointer; font-size: 12px; }
+ .theme:hover { background: #e8f0fe; }
+ .region { border: 2px solid #333; border-radius: 4px; margin: 4px; padding: 6px;
+           cursor: pointer; font-size: 12px; }
+ .region.leaf:hover { outline: 3px solid #4285f4; }
+ #query { font-family: monospace; font-size: 11px; background: #2b2b2b; color: #9fef90;
+          padding: 8px; border-radius: 4px; word-break: break-all; }
+ button { margin: 2px; } #hl { font-size: 12px; white-space: pre-wrap; }
+ .meta { color: #555; font-size: 11px; }
+</style>
+</head>
+<body>
+<div id="side">
+ <h1>Blaeu</h1>
+ <div class="meta">Interactive database exploration via double cluster analysis
+ (themes &times; data maps). Pick a dataset, pick a theme, then zoom, highlight,
+ project or roll back.</div>
+ <h2>Datasets</h2><div id="datasets"></div>
+ <h2>Themes</h2><div id="themes"></div>
+ <h2>Highlight</h2>
+ <input id="hlcol" placeholder="column name" size="18">
+ <button onclick="highlight()">inspect</button>
+ <div id="hl"></div>
+ <h2>Filter (extension)</h2>
+ <input id="flt" placeholder="e.g. income >= 22 AND hours < 20" size="28">
+ <button onclick="filter()">apply</button>
+</div>
+<div id="main">
+ <div>
+  <button onclick="rollback()">&#8630; rollback</button>
+  <span id="status" class="meta"></span>
+ </div>
+ <h2>Implicit query</h2><div id="query">SELECT * FROM ...</div>
+ <h2>Data map</h2><div id="map" class="meta">select a theme</div>
+</div>
+<script>
+let sid = null, state = null, selPath = [];
+async function api(method, url, body) {
+  const res = await fetch(url, {method, headers: {'Content-Type':'application/json'},
+    body: body ? JSON.stringify(body) : undefined});
+  const j = await res.json();
+  if (!res.ok) { document.getElementById('status').textContent = j.error || res.statusText; throw j; }
+  return j;
+}
+async function loadDatasets() {
+  const ds = await api('GET', '/api/datasets');
+  const el = document.getElementById('datasets');
+  el.innerHTML = '';
+  (ds||[]).forEach(d => {
+    const b = document.createElement('div');
+    b.className = 'theme';
+    b.textContent = d.name + ' (' + d.rows + ' x ' + d.cols + ')';
+    b.onclick = () => open(d.name);
+    el.appendChild(b);
+  });
+}
+async function open(name) {
+  state = await api('POST', '/api/sessions', {dataset: name});
+  sid = state.sessionId; render();
+}
+function render() {
+  if (!state) return;
+  document.getElementById('status').textContent =
+    state.rows + ' tuples | ' + state.action + ' ' + (state.detail||'') +
+    ' | history ' + state.historyDepth;
+  document.getElementById('query').textContent = state.query;
+  const themes = document.getElementById('themes');
+  themes.innerHTML = '';
+  (state.themes||[]).forEach(t => {
+    const b = document.createElement('div');
+    b.className = 'theme';
+    b.textContent = '#' + t.id + ' ' + t.label + ' (coh ' + t.cohesion.toFixed(2) + ')';
+    b.onclick = () => act('select', {theme: t.id});
+    b.oncontextmenu = (e) => { e.preventDefault(); act('project', {theme: t.id}); };
+    b.title = 'click: select/map   right-click: project';
+    themes.appendChild(b);
+  });
+  const map = document.getElementById('map');
+  map.innerHTML = '';
+  if (state.map) {
+    const info = document.createElement('div');
+    info.className = 'meta';
+    info.textContent = 'k=' + state.map.k + ' silhouette=' + state.map.silhouette.toFixed(2) +
+      ' tree-fidelity=' + state.map.treeAccuracy.toFixed(2) + ' (sample ' + state.map.sampleSize + ')';
+    map.appendChild(info);
+    map.appendChild(renderRegion(state.map.root, state.rows));
+  } else {
+    map.textContent = 'select a theme';
+  }
+}
+function renderRegion(r, total) {
+  const d = document.createElement('div');
+  d.className = 'region' + (r.children ? '' : ' leaf');
+  const frac = total ? (100 * r.count / total) : 0;
+  d.style.background = r.children ? '#fafafa' :
+    ['#8ecae6','#ffb703','#90be6d','#f28482','#b197fc','#f9c74f'][((r.clusterId%6)+6)%6];
+  d.innerHTML = '<b>' + (r.split || r.condition) + '</b> — n=' + r.count +
+    ' (' + frac.toFixed(1) + '%)' +
+    (r.children ? '' : ' [cluster ' + r.clusterId + ']');
+  if (!r.children) {
+    d.onclick = (e) => { e.stopPropagation(); selPath = r.path; act('zoom', {path: r.path}); };
+  }
+  (r.children||[]).forEach(c => d.appendChild(renderRegion(c, total)));
+  return d;
+}
+async function act(kind, body) {
+  state = await api('POST', '/api/sessions/' + sid + '/' + kind, body); selPath = []; render();
+}
+async function rollback() { if (sid) { state = await api('POST', '/api/sessions/' + sid + '/rollback'); render(); } }
+async function filter() {
+  if (!sid) return;
+  const expr = document.getElementById('flt').value;
+  state = await api('POST', '/api/sessions/' + sid + '/filter', {expr}); render();
+}
+async function highlight() {
+  if (!sid) return;
+  const col = document.getElementById('hlcol').value;
+  const h = await api('GET', '/api/sessions/' + sid + '/highlight?column=' +
+     encodeURIComponent(col) + '&path=' + selPath.join(','));
+  document.getElementById('hl').textContent = JSON.stringify(h, null, 1);
+}
+loadDatasets();
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,452 @@
+// Package server exposes Blaeu over HTTP — the reproduction of the
+// paper's web architecture (Fig. 4): the store plays MonetDB, core plays
+// the R mapping engine, session plays the NodeJS session manager, and
+// this package relays themes, maps and actions to a browser client as
+// JSON and SVG.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/render"
+	"repro/internal/session"
+	"repro/internal/store"
+)
+
+// Server is the Blaeu HTTP front end.
+type Server struct {
+	manager  *Manager
+	mux      *http.ServeMux
+	datasets map[string]*store.Table
+	opts     core.Options
+}
+
+// Manager aliases the session registry (kept narrow for testability).
+type Manager = session.Manager
+
+// New builds a server over a registry of named datasets. opts configures
+// every explorer the server opens.
+func New(datasets map[string]*store.Table, opts core.Options) *Server {
+	s := &Server{
+		manager:  session.NewManager(),
+		mux:      http.NewServeMux(),
+		datasets: datasets,
+		opts:     opts,
+	}
+	s.mux.HandleFunc("GET /", s.handleIndex)
+	s.mux.HandleFunc("GET /api/datasets", s.handleDatasets)
+	s.mux.HandleFunc("POST /api/sessions", s.handleOpen)
+	s.mux.HandleFunc("GET /api/sessions/{id}", s.handleState)
+	s.mux.HandleFunc("DELETE /api/sessions/{id}", s.handleClose)
+	s.mux.HandleFunc("POST /api/sessions/{id}/select", s.handleSelect)
+	s.mux.HandleFunc("POST /api/sessions/{id}/zoom", s.handleZoom)
+	s.mux.HandleFunc("POST /api/sessions/{id}/project", s.handleProject)
+	s.mux.HandleFunc("POST /api/sessions/{id}/rollback", s.handleRollback)
+	s.mux.HandleFunc("GET /api/sessions/{id}/highlight", s.handleHighlight)
+	s.mux.HandleFunc("GET /api/sessions/{id}/scatter", s.handleScatter)
+	s.mux.HandleFunc("POST /api/sessions/{id}/annotate", s.handleAnnotate)
+	s.mux.HandleFunc("POST /api/sessions/{id}/filter", s.handleFilter)
+	s.mux.HandleFunc("GET /api/sessions/{id}/map.svg", s.handleMapSVG)
+	s.mux.HandleFunc("GET /api/sessions/{id}/export", s.handleExport)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// --- wire types ---
+
+type themeJSON struct {
+	ID       int      `json:"id"`
+	Label    string   `json:"label"`
+	Medoid   string   `json:"medoid"`
+	Columns  []string `json:"columns"`
+	Cohesion float64  `json:"cohesion"`
+}
+
+type regionJSON struct {
+	Path       []int        `json:"path"`
+	Condition  string       `json:"condition"`
+	Count      int          `json:"count"`
+	ClusterID  int          `json:"clusterId"`
+	Silhouette *float64     `json:"silhouette,omitempty"`
+	Split      string       `json:"split,omitempty"`
+	Children   []regionJSON `json:"children,omitempty"`
+}
+
+type mapJSON struct {
+	ThemeID      int        `json:"themeId"`
+	ThemeLabel   string     `json:"themeLabel"`
+	K            int        `json:"k"`
+	Silhouette   float64    `json:"silhouette"`
+	TreeAccuracy float64    `json:"treeAccuracy"`
+	SampleSize   int        `json:"sampleSize"`
+	Root         regionJSON `json:"root"`
+}
+
+type stateJSON struct {
+	SessionID string      `json:"sessionId"`
+	Rows      int         `json:"rows"`
+	Query     string      `json:"query"`
+	Action    string      `json:"action"`
+	Detail    string      `json:"detail"`
+	Themes    []themeJSON `json:"themes"`
+	Map       *mapJSON    `json:"map,omitempty"`
+	Depth     int         `json:"historyDepth"`
+}
+
+func themeToJSON(t core.Theme) themeJSON {
+	return themeJSON{ID: t.ID, Label: t.Label(), Medoid: t.Medoid, Columns: t.Columns, Cohesion: t.Cohesion}
+}
+
+func regionToJSON(r *core.Region) regionJSON {
+	out := regionJSON{
+		Path:      r.Path,
+		Condition: r.Describe(),
+		Count:     r.Count(),
+		ClusterID: r.ClusterID,
+	}
+	if !math.IsNaN(r.Silhouette) {
+		v := r.Silhouette
+		out.Silhouette = &v
+	}
+	if r.Split != nil {
+		out.Split = r.Split.String()
+	}
+	for _, c := range r.Children {
+		out.Children = append(out.Children, regionToJSON(c))
+	}
+	return out
+}
+
+func mapToJSON(m *core.Map) *mapJSON {
+	if m == nil {
+		return nil
+	}
+	return &mapJSON{
+		ThemeID:      m.Theme.ID,
+		ThemeLabel:   m.Theme.Label(),
+		K:            m.K,
+		Silhouette:   m.Silhouette,
+		TreeAccuracy: m.TreeAccuracy,
+		SampleSize:   m.SampleSize,
+		Root:         regionToJSON(m.Root),
+	}
+}
+
+func (s *Server) stateJSON(sess *session.Session) stateJSON {
+	var out stateJSON
+	_ = sess.Do(func(e *core.Explorer) error {
+		st := e.State()
+		out = stateJSON{
+			SessionID: sess.ID,
+			Rows:      len(st.Rows),
+			Query:     e.Query(),
+			Action:    string(st.Action),
+			Detail:    st.Detail,
+			Map:       mapToJSON(st.Map),
+			Depth:     len(e.History()),
+		}
+		for _, t := range e.Themes() {
+			out.Themes = append(out.Themes, themeToJSON(t))
+		}
+		return nil
+	})
+	return out
+}
+
+// --- handlers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	type ds struct {
+		Name string `json:"name"`
+		Rows int    `json:"rows"`
+		Cols int    `json:"cols"`
+	}
+	var out []ds
+	for name, t := range s.datasets {
+		out = append(out, ds{Name: name, Rows: t.NumRows(), Cols: t.NumCols()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Dataset string `json:"dataset"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
+		return
+	}
+	t, ok := s.datasets[req.Dataset]
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no dataset %q", req.Dataset))
+		return
+	}
+	sess, err := s.manager.Open(t, s.opts)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.stateJSON(sess))
+}
+
+func (s *Server) session(w http.ResponseWriter, r *http.Request) *session.Session {
+	sess, err := s.manager.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return nil
+	}
+	return sess
+}
+
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	if sess := s.session(w, r); sess != nil {
+		writeJSON(w, http.StatusOK, s.stateJSON(sess))
+	}
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	if err := s.manager.Close(r.PathValue("id")); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"closed": true})
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	s.themeAction(w, r, func(e *core.Explorer, id int) error {
+		_, err := e.SelectTheme(id)
+		return err
+	})
+}
+
+func (s *Server) handleProject(w http.ResponseWriter, r *http.Request) {
+	s.themeAction(w, r, func(e *core.Explorer, id int) error {
+		_, err := e.Project(id)
+		return err
+	})
+}
+
+func (s *Server) themeAction(w http.ResponseWriter, r *http.Request, act func(*core.Explorer, int) error) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var req struct {
+		Theme int `json:"theme"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := sess.Do(func(e *core.Explorer) error { return act(e, req.Theme) }); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.stateJSON(sess))
+}
+
+func (s *Server) handleZoom(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var req struct {
+		Path []int `json:"path"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := sess.Do(func(e *core.Explorer) error {
+		_, err := e.Zoom(req.Path...)
+		return err
+	}); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.stateJSON(sess))
+}
+
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	if err := sess.Do(func(e *core.Explorer) error { return e.Rollback() }); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.stateJSON(sess))
+}
+
+func (s *Server) handleHighlight(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	column := r.URL.Query().Get("column")
+	path, err := parsePath(r.URL.Query().Get("path"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var h *core.Highlight
+	if err := sess.Do(func(e *core.Explorer) error {
+		var err error
+		h, err = e.Highlight(column, path...)
+		return err
+	}); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (s *Server) handleScatter(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	q := r.URL.Query()
+	path, err := parsePath(q.Get("path"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var sd *core.ScatterData
+	if err := sess.Do(func(e *core.Explorer) error {
+		var err error
+		sd, err = e.RegionScatter(q.Get("x"), q.Get("y"), path...)
+		return err
+	}); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sd)
+}
+
+func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var req struct {
+		Path []int  `json:"path"`
+		Text string `json:"text"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Text == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty annotation"))
+		return
+	}
+	if err := sess.Do(func(e *core.Explorer) error {
+		return e.Annotate(req.Text, req.Path...)
+	}); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"annotated": true})
+}
+
+func (s *Server) handleFilter(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var req struct {
+		Expr string `json:"expr"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := sess.Do(func(e *core.Explorer) error {
+		_, err := e.FilterExpr(req.Expr)
+		return err
+	}); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.stateJSON(sess))
+}
+
+func (s *Server) handleMapSVG(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var svg string
+	err := sess.Do(func(e *core.Explorer) error {
+		m := e.CurrentMap()
+		if m == nil {
+			return fmt.Errorf("no active map")
+		}
+		svg = render.SVGMap(m, 720, 480)
+		return nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	_, _ = w.Write([]byte(svg))
+}
+
+func parsePath(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad path element %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var snap *core.Snapshot
+	_ = sess.Do(func(e *core.Explorer) error {
+		snap = e.Snapshot()
+		return nil
+	})
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(indexHTML))
+}

@@ -1,0 +1,382 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/store"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	ds := datagen.PlantedBlobs(datagen.BlobSpec{N: 400, K: 3, Dims: 4, Sep: 8}, rng)
+	hw := datagen.Hollywood(rand.New(rand.NewSource(2)))
+	srv := New(map[string]*store.Table{"blobs": ds.Table, "hollywood": hw.Table},
+		core.Options{Seed: 1, SampleSize: 400})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func doJSON(t *testing.T, method, url string, body any, wantStatus int) map[string]any {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != wantStatus {
+		t.Fatalf("%s %s: status %d, want %d", method, url, res.StatusCode, wantStatus)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return out
+}
+
+func openSession(t *testing.T, ts *httptest.Server, dataset string) (string, map[string]any) {
+	t.Helper()
+	st := doJSON(t, "POST", ts.URL+"/api/sessions", map[string]string{"dataset": dataset}, http.StatusCreated)
+	id, _ := st["sessionId"].(string)
+	if id == "" {
+		t.Fatal("no session id")
+	}
+	return id, st
+}
+
+func TestDatasetsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	res, err := http.Get(ts.URL + "/api/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var ds []map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&ds); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("datasets = %v", ds)
+	}
+}
+
+func TestOpenSessionReturnsThemes(t *testing.T) {
+	ts := testServer(t)
+	_, st := openSession(t, ts, "blobs")
+	themes, _ := st["themes"].([]any)
+	if len(themes) == 0 {
+		t.Fatal("no themes in open response")
+	}
+	if st["query"] == "" {
+		t.Error("missing query")
+	}
+	if int(st["rows"].(float64)) != 400 {
+		t.Errorf("rows = %v", st["rows"])
+	}
+}
+
+func TestOpenUnknownDataset(t *testing.T) {
+	ts := testServer(t)
+	doJSON(t, "POST", ts.URL+"/api/sessions", map[string]string{"dataset": "zzz"}, http.StatusNotFound)
+}
+
+func TestFullNavigationFlow(t *testing.T) {
+	ts := testServer(t)
+	id, _ := openSession(t, ts, "blobs")
+	base := ts.URL + "/api/sessions/" + id
+
+	// Select theme 0 → map appears.
+	st := doJSON(t, "POST", base+"/select", map[string]int{"theme": 0}, http.StatusOK)
+	mp, _ := st["map"].(map[string]any)
+	if mp == nil {
+		t.Fatal("no map after select")
+	}
+	if int(mp["k"].(float64)) < 2 {
+		t.Errorf("map k = %v", mp["k"])
+	}
+	// Find the first leaf path.
+	root := mp["root"].(map[string]any)
+	leaf := root
+	var path []int
+	for {
+		children, ok := leaf["children"].([]any)
+		if !ok || len(children) == 0 {
+			break
+		}
+		leaf = children[0].(map[string]any)
+		path = append(path, 0)
+	}
+	// Zoom into the leaf.
+	st = doJSON(t, "POST", base+"/zoom", map[string]any{"path": path}, http.StatusOK)
+	if st["action"] != "zoom" {
+		t.Errorf("action = %v", st["action"])
+	}
+	zoomRows := int(st["rows"].(float64))
+	if zoomRows >= 400 || zoomRows <= 0 {
+		t.Errorf("zoom rows = %d", zoomRows)
+	}
+	if q := st["query"].(string); !strings.Contains(q, "WHERE") {
+		t.Errorf("query after zoom = %q", q)
+	}
+	// Project onto the same theme (single-theme dataset).
+	st = doJSON(t, "POST", base+"/project", map[string]int{"theme": 0}, http.StatusOK)
+	if int(st["rows"].(float64)) != zoomRows {
+		t.Error("project changed the selection")
+	}
+	// Highlight a column in the root region.
+	res, err := http.Get(base + "/highlight?column=v0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hl map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&hl); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("highlight status %d: %v", res.StatusCode, hl)
+	}
+	// Rollback three times → back to init (no map).
+	doJSON(t, "POST", base+"/rollback", nil, http.StatusOK)
+	doJSON(t, "POST", base+"/rollback", nil, http.StatusOK)
+	st = doJSON(t, "POST", base+"/rollback", nil, http.StatusOK)
+	if _, has := st["map"]; has && st["map"] != nil {
+		t.Error("map should be gone after full rollback")
+	}
+	// Fourth rollback fails.
+	doJSON(t, "POST", base+"/rollback", nil, http.StatusBadRequest)
+}
+
+func TestZoomInvalidPath(t *testing.T) {
+	ts := testServer(t)
+	id, _ := openSession(t, ts, "blobs")
+	base := ts.URL + "/api/sessions/" + id
+	doJSON(t, "POST", base+"/zoom", map[string]any{"path": []int{0}}, http.StatusBadRequest)
+	doJSON(t, "POST", base+"/select", map[string]int{"theme": 0}, http.StatusOK)
+	doJSON(t, "POST", base+"/zoom", map[string]any{"path": []int{99}}, http.StatusBadRequest)
+}
+
+func TestSelectInvalidTheme(t *testing.T) {
+	ts := testServer(t)
+	id, _ := openSession(t, ts, "blobs")
+	doJSON(t, "POST", ts.URL+"/api/sessions/"+id+"/select", map[string]int{"theme": 99}, http.StatusBadRequest)
+}
+
+func TestUnknownSession(t *testing.T) {
+	ts := testServer(t)
+	doJSON(t, "POST", ts.URL+"/api/sessions/nope/select", map[string]int{"theme": 0}, http.StatusNotFound)
+	doJSON(t, "GET", ts.URL+"/api/sessions/nope", nil, http.StatusNotFound)
+}
+
+func TestCloseSession(t *testing.T) {
+	ts := testServer(t)
+	id, _ := openSession(t, ts, "blobs")
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/sessions/"+id, nil)
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d", res.StatusCode)
+	}
+	doJSON(t, "GET", ts.URL+"/api/sessions/"+id, nil, http.StatusNotFound)
+}
+
+func TestMapSVG(t *testing.T) {
+	ts := testServer(t)
+	id, _ := openSession(t, ts, "blobs")
+	base := ts.URL + "/api/sessions/" + id
+	// Before a map exists: 400.
+	res, _ := http.Get(base + "/map.svg")
+	res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("pre-map svg status %d", res.StatusCode)
+	}
+	doJSON(t, "POST", base+"/select", map[string]int{"theme": 0}, http.StatusOK)
+	res, err := http.Get(base + "/map.svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("svg status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != "image/svg+xml" {
+		t.Errorf("content type %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(res.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "<svg") {
+		t.Error("not svg")
+	}
+}
+
+func TestIndexServed(t *testing.T) {
+	ts := testServer(t)
+	res, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(res.Body)
+	if !strings.Contains(buf.String(), "Blaeu") {
+		t.Error("index page missing")
+	}
+	res2, _ := http.Get(ts.URL + "/nope")
+	res2.Body.Close()
+	if res2.StatusCode != http.StatusNotFound {
+		t.Error("unknown path should 404")
+	}
+}
+
+func TestHighlightBadPath(t *testing.T) {
+	ts := testServer(t)
+	id, _ := openSession(t, ts, "blobs")
+	base := ts.URL + "/api/sessions/" + id
+	doJSON(t, "POST", base+"/select", map[string]int{"theme": 0}, http.StatusOK)
+	res, _ := http.Get(base + "/highlight?column=v0&path=abc")
+	res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad path status %d", res.StatusCode)
+	}
+}
+
+func TestHollywoodSessionEndToEnd(t *testing.T) {
+	ts := testServer(t)
+	id, st := openSession(t, ts, "hollywood")
+	themes, _ := st["themes"].([]any)
+	if len(themes) < 2 {
+		t.Fatalf("hollywood themes = %d", len(themes))
+	}
+	// Map every theme without error.
+	for i := range themes {
+		doJSON(t, "POST", ts.URL+"/api/sessions/"+id+"/select",
+			map[string]int{"theme": i}, http.StatusOK)
+	}
+}
+
+func TestConcurrentSessionsIsolated(t *testing.T) {
+	ts := testServer(t)
+	a, _ := openSession(t, ts, "blobs")
+	b, _ := openSession(t, ts, "blobs")
+	if a == b {
+		t.Fatal("session ids collide")
+	}
+	doJSON(t, "POST", ts.URL+"/api/sessions/"+a+"/select", map[string]int{"theme": 0}, http.StatusOK)
+	// Session b is untouched: still at init depth 1.
+	st := doJSON(t, "GET", ts.URL+"/api/sessions/"+b, nil, http.StatusOK)
+	if int(st["historyDepth"].(float64)) != 1 {
+		t.Error("sessions not isolated")
+	}
+}
+
+func TestScatterEndpoint(t *testing.T) {
+	ts := testServer(t)
+	id, _ := openSession(t, ts, "blobs")
+	base := ts.URL + "/api/sessions/" + id
+	doJSON(t, "POST", base+"/select", map[string]int{"theme": 0}, http.StatusOK)
+	res, err := http.Get(base + "/scatter?x=v0&y=v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sd map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&sd); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("scatter status %d: %v", res.StatusCode, sd)
+	}
+	if int(sd["N"].(float64)) != 400 {
+		t.Errorf("scatter N = %v", sd["N"])
+	}
+	// Bad column.
+	res, _ = http.Get(base + "/scatter?x=zzz&y=v1")
+	res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Error("bad column should 400")
+	}
+}
+
+func TestAnnotateEndpoint(t *testing.T) {
+	ts := testServer(t)
+	id, _ := openSession(t, ts, "blobs")
+	base := ts.URL + "/api/sessions/" + id
+	doJSON(t, "POST", base+"/select", map[string]int{"theme": 0}, http.StatusOK)
+	doJSON(t, "POST", base+"/annotate", map[string]any{"path": []int{0}, "text": "note"}, http.StatusOK)
+	doJSON(t, "POST", base+"/annotate", map[string]any{"path": []int{0}, "text": ""}, http.StatusBadRequest)
+	doJSON(t, "POST", base+"/annotate", map[string]any{"path": []int{99}, "text": "x"}, http.StatusBadRequest)
+}
+
+func TestFilterEndpoint(t *testing.T) {
+	ts := testServer(t)
+	id, _ := openSession(t, ts, "blobs")
+	base := ts.URL + "/api/sessions/" + id
+	st := doJSON(t, "POST", base+"/filter", map[string]string{"expr": "v0 >= 0"}, http.StatusOK)
+	if int(st["rows"].(float64)) >= 400 {
+		t.Errorf("filter rows = %v", st["rows"])
+	}
+	if st["action"] != "filter" {
+		t.Errorf("action = %v", st["action"])
+	}
+	doJSON(t, "POST", base+"/filter", map[string]string{"expr": "not parseable !!"}, http.StatusBadRequest)
+	doJSON(t, "POST", base+"/filter", map[string]string{"expr": "v0 > 1e12"}, http.StatusBadRequest)
+}
+
+func TestExportEndpoint(t *testing.T) {
+	ts := testServer(t)
+	id, _ := openSession(t, ts, "blobs")
+	base := ts.URL + "/api/sessions/" + id
+	doJSON(t, "POST", base+"/select", map[string]int{"theme": 0}, http.StatusOK)
+	snap := doJSON(t, "GET", base+"/export", nil, http.StatusOK)
+	if snap["table"] != "blobs" {
+		t.Errorf("export table = %v", snap["table"])
+	}
+	hist, _ := snap["history"].([]any)
+	if len(hist) != 2 {
+		t.Errorf("export history = %d states", len(hist))
+	}
+	last := hist[1].(map[string]any)
+	if last["action"] != "select-theme" || last["map"] == nil {
+		t.Errorf("export last state = %v", last)
+	}
+}
+
+func TestStateEndpointShape(t *testing.T) {
+	ts := testServer(t)
+	id, _ := openSession(t, ts, "blobs")
+	st := doJSON(t, "GET", ts.URL+"/api/sessions/"+id, nil, http.StatusOK)
+	for _, key := range []string{"sessionId", "rows", "query", "action", "themes", "historyDepth"} {
+		if _, ok := st[key]; !ok {
+			t.Errorf("state missing %q: %v", key, st)
+		}
+	}
+	if st["action"] != "init" {
+		t.Errorf("action = %v", st["action"])
+	}
+	_ = fmt.Sprintf("%v", st)
+}

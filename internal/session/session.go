@@ -1,0 +1,136 @@
+// Package session implements Blaeu's session manager — the middle tier of
+// the paper's architecture (Fig. 4), where NodeJS "manages the sessions
+// and relays the maps to the clients". It provides a concurrency-safe
+// registry of exploration sessions, each wrapping one core.Explorer.
+package session
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// Session is one user's exploration session.
+type Session struct {
+	// ID is the registry key.
+	ID string
+	// Explorer is the underlying exploration engine. Callers must hold
+	// the session lock (Do) for any interaction.
+	Explorer *core.Explorer
+	// Created and LastUsed are bookkeeping timestamps.
+	Created, LastUsed time.Time
+
+	mu sync.Mutex
+}
+
+// Do runs f while holding the session's lock; all explorer access must go
+// through it (core.Explorer is not concurrency-safe).
+func (s *Session) Do(f func(e *core.Explorer) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.LastUsed = time.Now()
+	return f(s.Explorer)
+}
+
+// Manager is a registry of sessions.
+type Manager struct {
+	mu       sync.Mutex
+	sessions map[string]*Session
+	nextID   int
+	now      func() time.Time
+}
+
+// NewManager returns an empty session registry.
+func NewManager() *Manager {
+	return &Manager{sessions: make(map[string]*Session), now: time.Now}
+}
+
+// Open creates a session exploring the given table.
+func (m *Manager) Open(t *store.Table, opts core.Options) (*Session, error) {
+	e, err := core.NewExplorer(t, opts)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	s := &Session{
+		ID:       fmt.Sprintf("s%04d", m.nextID),
+		Explorer: e,
+		Created:  m.now(),
+		LastUsed: m.now(),
+	}
+	m.sessions[s.ID] = s
+	return s, nil
+}
+
+// Get returns the session with the given ID.
+func (m *Manager) Get(id string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("session: no session %q", id)
+	}
+	return s, nil
+}
+
+// Close removes a session.
+func (m *Manager) Close(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.sessions[id]; !ok {
+		return fmt.Errorf("session: no session %q", id)
+	}
+	delete(m.sessions, id)
+	return nil
+}
+
+// List returns the open session IDs in creation order.
+func (m *Manager) List() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.sessions))
+	for id := range m.sessions {
+		out = append(out, id)
+	}
+	sortStrings(out)
+	return out
+}
+
+// Len returns the number of open sessions.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// CloseIdle removes sessions unused for longer than maxIdle and returns
+// how many were closed.
+func (m *Manager) CloseIdle(maxIdle time.Duration) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cutoff := m.now().Add(-maxIdle)
+	n := 0
+	for id, s := range m.sessions {
+		s.mu.Lock()
+		idle := s.LastUsed.Before(cutoff)
+		s.mu.Unlock()
+		if idle {
+			delete(m.sessions, id)
+			n++
+		}
+	}
+	return n
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package session
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/store"
+)
+
+func smallTable() *store.Table {
+	rng := rand.New(rand.NewSource(1))
+	ds := datagen.PlantedBlobs(datagen.BlobSpec{N: 200, K: 2, Dims: 4, Sep: 6}, rng)
+	return ds.Table
+}
+
+func TestOpenGetClose(t *testing.T) {
+	m := NewManager()
+	s, err := m.Open(smallTable(), core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID == "" {
+		t.Fatal("empty session ID")
+	}
+	got, err := m.Get(s.ID)
+	if err != nil || got != s {
+		t.Fatal("get failed")
+	}
+	if m.Len() != 1 {
+		t.Fatal("len wrong")
+	}
+	if err := m.Close(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get(s.ID); err == nil {
+		t.Error("closed session should be gone")
+	}
+	if err := m.Close(s.ID); err == nil {
+		t.Error("double close should fail")
+	}
+}
+
+func TestOpenInvalidTable(t *testing.T) {
+	m := NewManager()
+	empty := store.NewTable("empty")
+	empty.MustAddColumn(store.NewFloatColumn("x"))
+	if _, err := m.Open(empty, core.Options{}); err == nil {
+		t.Error("empty table should fail to open")
+	}
+}
+
+func TestDoSerializesAccess(t *testing.T) {
+	m := NewManager()
+	s, err := m.Open(smallTable(), core.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- s.Do(func(e *core.Explorer) error {
+				_, err := e.SelectTheme(0)
+				if err != nil {
+					return err
+				}
+				return e.Rollback()
+			})
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After balanced select+rollback pairs, state is back to init.
+	_ = s.Do(func(e *core.Explorer) error {
+		if len(e.History()) != 1 {
+			t.Errorf("history = %d, want 1", len(e.History()))
+		}
+		return nil
+	})
+}
+
+func TestList(t *testing.T) {
+	m := NewManager()
+	a, _ := m.Open(smallTable(), core.Options{Seed: 3})
+	b, _ := m.Open(smallTable(), core.Options{Seed: 4})
+	ids := m.List()
+	if len(ids) != 2 || ids[0] != a.ID || ids[1] != b.ID {
+		t.Errorf("list = %v", ids)
+	}
+}
+
+func TestCloseIdle(t *testing.T) {
+	m := NewManager()
+	now := time.Now()
+	m.now = func() time.Time { return now }
+	s1, _ := m.Open(smallTable(), core.Options{Seed: 5})
+	s2, _ := m.Open(smallTable(), core.Options{Seed: 6})
+	// Age s1 artificially.
+	s1.LastUsed = now.Add(-2 * time.Hour)
+	s2.LastUsed = now.Add(-time.Minute)
+	if n := m.CloseIdle(time.Hour); n != 1 {
+		t.Fatalf("closed %d, want 1", n)
+	}
+	if _, err := m.Get(s1.ID); err == nil {
+		t.Error("idle session should be gone")
+	}
+	if _, err := m.Get(s2.ID); err != nil {
+		t.Error("fresh session should survive")
+	}
+}
+
+func TestConcurrentOpen(t *testing.T) {
+	m := NewManager()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			if _, err := m.Open(smallTable(), core.Options{Seed: seed}); err != nil {
+				t.Error(err)
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	if m.Len() != 8 {
+		t.Errorf("len = %d, want 8", m.Len())
+	}
+	// IDs must be unique.
+	seen := map[string]bool{}
+	for _, id := range m.List() {
+		if seen[id] {
+			t.Fatalf("duplicate ID %s", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,123 @@
+// Package stats provides the statistical primitives Blaeu's mapping engine
+// is built on: discretization, entropy and mutual information (the
+// dependency measure used for theme detection), correlation baselines,
+// normalization, and mixed-type distance functions.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// DefaultBins is the number of bins used when discretizing continuous
+// variables for entropy estimation.
+const DefaultBins = 10
+
+// BinningMethod selects how continuous values are discretized.
+type BinningMethod int
+
+const (
+	// EqualWidth splits the value range into equal-width intervals.
+	EqualWidth BinningMethod = iota
+	// EqualFrequency splits at quantiles so bins hold similar counts.
+	EqualFrequency
+)
+
+// Discretizer maps continuous values to bin indices. The special index -1
+// denotes a missing value.
+type Discretizer struct {
+	// Cuts are the ascending interior cut points; value v falls in bin i
+	// where cuts[i-1] <= v < cuts[i] (bin 0 is (-inf, cuts[0])).
+	Cuts []float64
+}
+
+// NumBins returns the number of bins produced by the discretizer.
+func (d *Discretizer) NumBins() int { return len(d.Cuts) + 1 }
+
+// Bin returns the bin index for v, or -1 for NaN.
+func (d *Discretizer) Bin(v float64) int {
+	if math.IsNaN(v) {
+		return -1
+	}
+	// Binary search over cut points.
+	lo, hi := 0, len(d.Cuts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v < d.Cuts[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// BinAll discretizes a slice of values.
+func (d *Discretizer) BinAll(vals []float64) []int {
+	out := make([]int, len(vals))
+	for i, v := range vals {
+		out[i] = d.Bin(v)
+	}
+	return out
+}
+
+// NewDiscretizer fits a discretizer with the given method and bin count on
+// the non-NaN values. Degenerate inputs (constant or empty) yield a single
+// bin.
+func NewDiscretizer(vals []float64, bins int, method BinningMethod) *Discretizer {
+	if bins < 1 {
+		bins = 1
+	}
+	clean := make([]float64, 0, len(vals))
+	for _, v := range vals {
+		if !math.IsNaN(v) {
+			clean = append(clean, v)
+		}
+	}
+	if len(clean) == 0 {
+		return &Discretizer{}
+	}
+	switch method {
+	case EqualFrequency:
+		sort.Float64s(clean)
+		var cuts []float64
+		for b := 1; b < bins; b++ {
+			pos := float64(b) / float64(bins) * float64(len(clean)-1)
+			c := clean[int(math.Round(pos))]
+			if len(cuts) == 0 || c > cuts[len(cuts)-1] {
+				cuts = append(cuts, c)
+			}
+		}
+		return &Discretizer{Cuts: cuts}
+	default: // EqualWidth
+		min, max := clean[0], clean[0]
+		for _, v := range clean {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if min == max {
+			return &Discretizer{}
+		}
+		width := (max - min) / float64(bins)
+		cuts := make([]float64, 0, bins-1)
+		for b := 1; b < bins; b++ {
+			cuts = append(cuts, min+float64(b)*width)
+		}
+		return &Discretizer{Cuts: cuts}
+	}
+}
+
+// Histogram counts values per bin; index -1 (missing) is dropped.
+func Histogram(bins []int, numBins int) []int {
+	out := make([]int, numBins)
+	for _, b := range bins {
+		if b >= 0 && b < numBins {
+			out[b]++
+		}
+	}
+	return out
+}

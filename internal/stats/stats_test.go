@@ -1,0 +1,498 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/store"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDiscretizerEqualWidth(t *testing.T) {
+	vals := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	d := NewDiscretizer(vals, 5, EqualWidth)
+	if d.NumBins() != 5 {
+		t.Fatalf("bins = %d, want 5", d.NumBins())
+	}
+	if d.Bin(0) != 0 {
+		t.Errorf("bin(0) = %d", d.Bin(0))
+	}
+	if d.Bin(10) != 4 {
+		t.Errorf("bin(10) = %d", d.Bin(10))
+	}
+	if d.Bin(4.5) != 2 {
+		t.Errorf("bin(4.5) = %d", d.Bin(4.5))
+	}
+	if d.Bin(math.NaN()) != -1 {
+		t.Error("NaN should bin to -1")
+	}
+	// Values below/above the fitted range clamp to end bins.
+	if d.Bin(-100) != 0 || d.Bin(100) != 4 {
+		t.Error("out-of-range values should clamp")
+	}
+}
+
+func TestDiscretizerEqualFrequency(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = rng.ExpFloat64() // skewed
+	}
+	d := NewDiscretizer(vals, 10, EqualFrequency)
+	counts := Histogram(d.BinAll(vals), d.NumBins())
+	for b, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("equal-frequency bin %d holds %d values, want ~1000", b, c)
+		}
+	}
+}
+
+func TestDiscretizerDegenerate(t *testing.T) {
+	if d := NewDiscretizer([]float64{5, 5, 5}, 10, EqualWidth); d.NumBins() != 1 {
+		t.Error("constant input should give one bin")
+	}
+	if d := NewDiscretizer(nil, 10, EqualWidth); d.NumBins() != 1 {
+		t.Error("empty input should give one bin")
+	}
+	if d := NewDiscretizer([]float64{math.NaN()}, 10, EqualFrequency); d.NumBins() != 1 {
+		t.Error("all-NaN input should give one bin")
+	}
+}
+
+func TestDiscretizerBinsMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		d := NewDiscretizer(raw, 8, EqualFrequency)
+		// Bin must be monotone nondecreasing in the value.
+		a, b := raw[0], raw[1]
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return d.Bin(a) <= d.Bin(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if h := Entropy([]int{0, 0, 0, 0}); h != 0 {
+		t.Errorf("constant entropy = %g, want 0", h)
+	}
+	if h := Entropy([]int{0, 1, 0, 1}); !almost(h, math.Ln2, 1e-12) {
+		t.Errorf("fair coin entropy = %g, want ln2", h)
+	}
+	if h := Entropy([]int{0, 1, 2, 3}); !almost(h, math.Log(4), 1e-12) {
+		t.Errorf("uniform-4 entropy = %g, want ln4", h)
+	}
+	if h := Entropy([]int{-1, -1, 0, 1}); !almost(h, math.Ln2, 1e-12) {
+		t.Error("missing labels must be skipped")
+	}
+	if h := Entropy(nil); h != 0 {
+		t.Error("empty entropy should be 0")
+	}
+}
+
+func TestMutualInformationIdentical(t *testing.T) {
+	x := []int{0, 1, 2, 0, 1, 2, 0, 1, 2}
+	mi := MutualInformation(x, x)
+	if !almost(mi, Entropy(x), 1e-12) {
+		t.Errorf("I(X;X) = %g, want H(X) = %g", mi, Entropy(x))
+	}
+}
+
+func TestMutualInformationIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 50000
+	x := make([]int, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		x[i] = rng.Intn(4)
+		y[i] = rng.Intn(4)
+	}
+	mi := MutualInformation(x, y)
+	if mi > 0.01 {
+		t.Errorf("independent MI = %g, want ~0", mi)
+	}
+}
+
+func TestMutualInformationMissing(t *testing.T) {
+	x := []int{0, 1, -1, 0, 1}
+	y := []int{0, 1, 1, -1, 1}
+	// Only pairs (0,0), (1,1), (1,1) survive: perfectly dependent.
+	mi := MutualInformation(x, y)
+	want := Entropy([]int{0, 1, 1})
+	if !almost(mi, want, 1e-12) {
+		t.Errorf("MI with missing = %g, want %g", mi, want)
+	}
+}
+
+func TestNormalizedMIBounds(t *testing.T) {
+	x := []int{0, 1, 2, 0, 1, 2}
+	if v := NormalizedMI(x, x); !almost(v, 1, 1e-9) {
+		t.Errorf("NMI(X,X) = %g, want 1", v)
+	}
+	if v := NormalizedMI(x, []int{0, 0, 0, 0, 0, 0}); v != 0 {
+		t.Errorf("NMI with constant = %g, want 0", v)
+	}
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(100)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = r.Intn(5)
+			b[i] = r.Intn(5)
+		}
+		v := NormalizedMI(a, b)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMISymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 200
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = r.Intn(4)
+			b[i] = (a[i] + r.Intn(2)) % 4
+		}
+		return almost(MutualInformation(a, b), MutualInformation(b, a), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMIDensePathEquivalence: MutualInformation has an array-backed fast
+// path for small alphabets and a map-backed path for large ones. MI is
+// invariant under injective relabeling, so shifting labels above the
+// dense limit (forcing the map path) must not change the value.
+func TestMIDensePathEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 100 + r.Intn(400)
+		x := make([]int, n)
+		y := make([]int, n)
+		xBig := make([]int, n)
+		yBig := make([]int, n)
+		for i := 0; i < n; i++ {
+			x[i] = r.Intn(8)
+			y[i] = (x[i] + r.Intn(4)) % 8
+			if r.Float64() < 0.05 {
+				x[i] = -1 // missing survives both paths
+			}
+			xBig[i] = x[i]
+			yBig[i] = y[i]
+			if x[i] >= 0 {
+				xBig[i] = x[i]*1000 + 500 // force map path (max >= 256)
+			}
+			yBig[i] = y[i]*1000 + 500
+		}
+		dense := MutualInformation(x, y)
+		sparse := MutualInformation(xBig, yBig)
+		return almost(dense, sparse, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColumnDependencyNonLinear(t *testing.T) {
+	// y = x^2 is non-linear: Pearson ~0 on symmetric x but NMI high.
+	// This is exactly why the paper picked MI (§3).
+	rng := rand.New(rand.NewSource(4))
+	n := 5000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	zs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()*2 - 1
+		ys[i] = xs[i] * xs[i]
+		zs[i] = rng.Float64()
+	}
+	cx := store.NewFloatColumnFrom("x", xs)
+	cy := store.NewFloatColumnFrom("y", ys)
+	cz := store.NewFloatColumnFrom("z", zs)
+	depXY := ColumnDependency(cx, cy)
+	depXZ := ColumnDependency(cx, cz)
+	if depXY < 0.3 {
+		t.Errorf("NMI(x, x^2) = %g, want high", depXY)
+	}
+	if depXZ > 0.05 {
+		t.Errorf("NMI(x, noise) = %g, want ~0", depXZ)
+	}
+	if r := Pearson(xs, ys); math.Abs(r) > 0.1 {
+		t.Errorf("Pearson(x, x^2) = %g, expected ~0 on symmetric input", r)
+	}
+}
+
+func TestColumnDependencyMixedTypes(t *testing.T) {
+	// A categorical column that is a deterministic function of a numeric one.
+	n := 3000
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, n)
+	cats := make([]string, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64() * 10
+		switch {
+		case xs[i] < 3:
+			cats[i] = "low"
+		case xs[i] < 7:
+			cats[i] = "mid"
+		default:
+			cats[i] = "high"
+		}
+	}
+	dep := ColumnDependency(store.NewFloatColumnFrom("x", xs), store.NewStringColumnFrom("c", cats))
+	if dep < 0.4 {
+		t.Errorf("mixed-type dependency = %g, want high", dep)
+	}
+}
+
+func TestDiscretizeColumnTypes(t *testing.T) {
+	sc := store.NewStringColumnFrom("s", []string{"a", "b", "a"})
+	sc.AppendNull()
+	got := DiscretizeColumn(sc, 5, EqualWidth)
+	if got[0] != got[2] || got[0] == got[1] || got[3] != -1 {
+		t.Errorf("string discretize = %v", got)
+	}
+	bc := store.NewBoolColumnFrom("b", []bool{true, false})
+	bc.AppendNull()
+	if g := DiscretizeColumn(bc, 5, EqualWidth); g[0] != 1 || g[1] != 0 || g[2] != -1 {
+		t.Errorf("bool discretize = %v", g)
+	}
+	fc := store.NewFloatColumn("f")
+	fc.Append(1)
+	fc.AppendNull()
+	fc.Append(100)
+	if g := DiscretizeColumn(fc, 4, EqualWidth); g[1] != -1 || g[0] == g[2] {
+		t.Errorf("float discretize = %v", g)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if r := Pearson(x, y); !almost(r, 1, 1e-12) {
+		t.Errorf("perfect positive r = %g", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(x, neg); !almost(r, -1, 1e-12) {
+		t.Errorf("perfect negative r = %g", r)
+	}
+	if r := Pearson(x, []float64{7, 7, 7, 7, 7}); r != 0 {
+		t.Errorf("constant r = %g, want 0", r)
+	}
+	withNaN := []float64{2, math.NaN(), 6, 8, 10}
+	if r := Pearson(x, withNaN); !almost(r, 1, 1e-12) {
+		t.Errorf("NaN-skipping r = %g", r)
+	}
+	if r := Pearson([]float64{1}, []float64{2}); r != 0 {
+		t.Error("single pair should return 0")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Monotone non-linear relation: Spearman 1, Pearson < 1.
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Exp(v)
+	}
+	if r := Spearman(x, y); !almost(r, 1, 1e-12) {
+		t.Errorf("spearman = %g, want 1", r)
+	}
+	if r := Pearson(x, y); r >= 0.999 {
+		t.Errorf("pearson = %g, expected < 1 for convex curve", r)
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	r := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if !almost(r[i], want[i], 1e-12) {
+			t.Fatalf("ranks = %v, want %v", r, want)
+		}
+	}
+	r2 := Ranks([]float64{5, math.NaN(), 1})
+	if !math.IsNaN(r2[1]) || r2[0] != 2 || r2[2] != 1 {
+		t.Errorf("ranks with NaN = %v", r2)
+	}
+}
+
+func TestMeanStdMedian(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, math.NaN()}
+	if m := Mean(vals); !almost(m, 2.5, 1e-12) {
+		t.Errorf("mean = %g", m)
+	}
+	if s := StdDev(vals); !almost(s, math.Sqrt(1.25), 1e-12) {
+		t.Errorf("std = %g", s)
+	}
+	if m := Median(vals); !almost(m, 2.5, 1e-12) {
+		t.Errorf("median = %g", m)
+	}
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %g", m)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Median(nil)) {
+		t.Error("empty aggregates should be NaN")
+	}
+}
+
+func TestScalers(t *testing.T) {
+	vals := []float64{0, 5, 10}
+	z := FitScaler(vals, ZScore)
+	if !almost(z.Apply(5), 0, 1e-12) {
+		t.Errorf("zscore center = %g", z.Apply(5))
+	}
+	if !almost(z.Invert(z.Apply(7)), 7, 1e-12) {
+		t.Error("zscore invert broken")
+	}
+	mm := FitScaler(vals, MinMax)
+	if mm.Apply(0) != 0 || mm.Apply(10) != 1 || !almost(mm.Apply(5), 0.5, 1e-12) {
+		t.Error("minmax wrong")
+	}
+	no := FitScaler(vals, NoNormalization)
+	if no.Apply(3) != 3 {
+		t.Error("no-normalization should be identity")
+	}
+	con := FitScaler([]float64{7, 7}, ZScore)
+	if con.Apply(7) != 0 || math.IsNaN(con.Apply(8)) {
+		t.Error("constant input must stay finite")
+	}
+	if !math.IsNaN(z.Apply(math.NaN())) {
+		t.Error("NaN should pass through")
+	}
+	applied := FitScaler([]float64{0, 10}, MinMax).ApplyAll([]float64{0, 5, 10})
+	if applied[1] != 0.5 {
+		t.Error("ApplyAll wrong")
+	}
+}
+
+func TestScalerRoundTripProperty(t *testing.T) {
+	f := func(vals []float64, probe float64) bool {
+		if math.IsNaN(probe) || math.Abs(probe) > 1e100 {
+			return true
+		}
+		for _, v := range vals {
+			if !math.IsNaN(v) && math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		for _, m := range []Normalization{ZScore, MinMax} {
+			s := FitScaler(vals, m)
+			got := s.Invert(s.Apply(probe))
+			if math.Abs(got-probe) > 1e-6*(1+math.Abs(probe)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	e := Euclidean{}
+	if d := e.Dist([]float64{0, 0}, []float64{3, 4}); !almost(d, 5, 1e-12) {
+		t.Errorf("euclidean = %g, want 5", d)
+	}
+	if d := e.Dist([]float64{1, 2}, []float64{1, 2}); d != 0 {
+		t.Errorf("self distance = %g", d)
+	}
+	// NaN dimension skipped with rescale: only dim 0 observed out of 2.
+	d := e.Dist([]float64{3, math.NaN()}, []float64{0, 1})
+	if !almost(d, math.Sqrt(9*2), 1e-12) {
+		t.Errorf("NaN-rescaled = %g, want sqrt(18)", d)
+	}
+	if d := e.Dist([]float64{math.NaN()}, []float64{1}); d != 0 {
+		t.Error("all-missing pairs should be 0")
+	}
+}
+
+func TestManhattan(t *testing.T) {
+	m := Manhattan{}
+	if d := m.Dist([]float64{0, 0}, []float64{3, -4}); !almost(d, 7, 1e-12) {
+		t.Errorf("manhattan = %g, want 7", d)
+	}
+}
+
+func TestGowerMixed(t *testing.T) {
+	g := Gower{Ranges: []float64{10, 0}} // numeric range 10, categorical
+	a := []float64{0, 1}
+	b := []float64{5, 2}
+	// |0-5|/10 = .5, categories differ = 1 → (.5+1)/2 = .75
+	if d := g.Dist(a, b); !almost(d, 0.75, 1e-12) {
+		t.Errorf("gower = %g, want 0.75", d)
+	}
+	if d := g.Dist(a, a); d != 0 {
+		t.Errorf("gower self = %g", d)
+	}
+	c := []float64{math.NaN(), 1}
+	if d := g.Dist(a, c); d != 0 { // only matching categorical dim observed
+		t.Errorf("gower with NaN = %g", d)
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	metrics := []Distance{Euclidean{}, Manhattan{}, SquaredEuclidean{}, Gower{Ranges: []float64{1, 1, 1}}}
+	f := func(a, b [3]float64) bool {
+		av, bv := a[:], b[:]
+		for i := range av {
+			if math.IsNaN(av[i]) || math.Abs(av[i]) > 1e100 || math.IsNaN(bv[i]) || math.Abs(bv[i]) > 1e100 {
+				return true
+			}
+		}
+		for _, m := range metrics {
+			dab, dba := m.Dist(av, bv), m.Dist(bv, av)
+			if dab < 0 || !almost(dab, dba, 1e-9*(1+dab)) {
+				return false
+			}
+			if m.Dist(av, av) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]int{0, 1, 1, 2, -1, 1}, 3)
+	if h[0] != 1 || h[1] != 3 || h[2] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestDistanceNames(t *testing.T) {
+	names := map[string]Distance{
+		"euclidean":   Euclidean{},
+		"manhattan":   Manhattan{},
+		"gower":       Gower{},
+		"sqeuclidean": SquaredEuclidean{},
+	}
+	for want, m := range names {
+		if m.Name() != want {
+			t.Errorf("name = %q, want %q", m.Name(), want)
+		}
+	}
+}

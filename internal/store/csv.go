@@ -1,0 +1,249 @@
+package store
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// CSVOptions controls CSV parsing.
+type CSVOptions struct {
+	// Comma is the field delimiter (default ',').
+	Comma rune
+	// NullTokens are strings treated as missing values in addition to "".
+	NullTokens []string
+	// MaxInferRows bounds how many rows type inference examines
+	// (0 means all rows).
+	MaxInferRows int
+	// TableName names the resulting table (default: "csv").
+	TableName string
+}
+
+func (o *CSVOptions) isNull(s string) bool {
+	if s == "" {
+		return true
+	}
+	for _, t := range o.NullTokens {
+		if s == t {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadCSV parses a CSV stream with a header row into a typed table.
+// Column types are inferred: a column whose non-null cells all parse as
+// integers becomes BIGINT; all-numeric becomes DOUBLE; all true/false
+// becomes BOOLEAN; anything else is VARCHAR.
+func ReadCSV(r io.Reader, opts *CSVOptions) (*Table, error) {
+	if opts == nil {
+		opts = &CSVOptions{}
+	}
+	if opts.NullTokens == nil {
+		opts.NullTokens = []string{"NA", "N/A", "null", "NULL", "nan", "NaN"}
+	}
+	name := opts.TableName
+	if name == "" {
+		name = "csv"
+	}
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("store: reading CSV header: %w", err)
+	}
+	names := make([]string, len(header))
+	for i, h := range header {
+		names[i] = strings.TrimSpace(h)
+		if names[i] == "" {
+			names[i] = fmt.Sprintf("col%d", i)
+		}
+	}
+	var rows [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: reading CSV row %d: %w", len(rows)+2, err)
+		}
+		cp := make([]string, len(rec))
+		copy(cp, rec)
+		rows = append(rows, cp)
+	}
+	types := inferTypes(rows, len(names), opts)
+	t := NewTable(name)
+	for j, colName := range names {
+		col, err := buildColumn(colName, types[j], rows, j, opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.AddColumn(col); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ReadCSVFile opens and parses a CSV file.
+func ReadCSVFile(path string, opts *CSVOptions) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if opts == nil {
+		opts = &CSVOptions{}
+	}
+	if opts.TableName == "" {
+		base := path
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		opts.TableName = strings.TrimSuffix(base, ".csv")
+	}
+	return ReadCSV(f, opts)
+}
+
+func inferTypes(rows [][]string, ncols int, opts *CSVOptions) []Type {
+	types := make([]Type, ncols)
+	limit := len(rows)
+	if opts.MaxInferRows > 0 && opts.MaxInferRows < limit {
+		limit = opts.MaxInferRows
+	}
+	for j := 0; j < ncols; j++ {
+		canInt, canFloat, canBool, seen := true, true, true, false
+		for i := 0; i < limit; i++ {
+			if j >= len(rows[i]) {
+				continue
+			}
+			s := strings.TrimSpace(rows[i][j])
+			if opts.isNull(s) {
+				continue
+			}
+			seen = true
+			if canInt {
+				if _, err := strconv.ParseInt(s, 10, 64); err != nil {
+					canInt = false
+				}
+			}
+			if canFloat {
+				if _, err := strconv.ParseFloat(s, 64); err != nil {
+					canFloat = false
+				}
+			}
+			if canBool {
+				l := strings.ToLower(s)
+				if l != "true" && l != "false" {
+					canBool = false
+				}
+			}
+			if !canInt && !canFloat && !canBool {
+				break
+			}
+		}
+		switch {
+		case !seen:
+			types[j] = String
+		case canBool:
+			types[j] = Bool
+		case canInt:
+			types[j] = Int64
+		case canFloat:
+			types[j] = Float64
+		default:
+			types[j] = String
+		}
+	}
+	return types
+}
+
+func buildColumn(name string, typ Type, rows [][]string, j int, opts *CSVOptions) (Column, error) {
+	cell := func(i int) (string, bool) {
+		if j >= len(rows[i]) {
+			return "", false
+		}
+		s := strings.TrimSpace(rows[i][j])
+		if opts.isNull(s) {
+			return "", false
+		}
+		return s, true
+	}
+	switch typ {
+	case Int64:
+		c := NewIntColumn(name)
+		for i := range rows {
+			s, ok := cell(i)
+			if !ok {
+				c.AppendNull()
+				continue
+			}
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("store: column %s row %d: %w", name, i, err)
+			}
+			c.Append(v)
+		}
+		return c, nil
+	case Float64:
+		c := NewFloatColumn(name)
+		for i := range rows {
+			s, ok := cell(i)
+			if !ok {
+				c.AppendNull()
+				continue
+			}
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("store: column %s row %d: %w", name, i, err)
+			}
+			c.Append(v)
+		}
+		return c, nil
+	case Bool:
+		c := NewBoolColumn(name)
+		for i := range rows {
+			s, ok := cell(i)
+			if !ok {
+				c.AppendNull()
+				continue
+			}
+			c.Append(strings.EqualFold(s, "true"))
+		}
+		return c, nil
+	default:
+		c := NewStringColumn(name)
+		for i := range rows {
+			s, ok := cell(i)
+			if !ok {
+				c.AppendNull()
+				continue
+			}
+			c.Append(s)
+		}
+		return c, nil
+	}
+}
+
+// WriteCSV renders the table as CSV with a header row. Nulls render as
+// empty cells.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.ColumnNames()); err != nil {
+		return err
+	}
+	for i := 0; i < t.NumRows(); i++ {
+		if err := cw.Write(t.Row(i)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

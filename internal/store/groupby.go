@@ -1,0 +1,176 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AggFunc identifies an aggregation function.
+type AggFunc int
+
+const (
+	// AggCount counts non-null values.
+	AggCount AggFunc = iota
+	// AggSum sums values.
+	AggSum
+	// AggMean averages values.
+	AggMean
+	// AggMin takes the minimum.
+	AggMin
+	// AggMax takes the maximum.
+	AggMax
+)
+
+// String names the aggregate.
+func (f AggFunc) String() string {
+	switch f {
+	case AggSum:
+		return "sum"
+	case AggMean:
+		return "mean"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return "count"
+	}
+}
+
+// Aggregation describes one aggregate column of a GroupBy.
+type Aggregation struct {
+	// Func is the aggregate function.
+	Func AggFunc
+	// Col is the input column (ignored for AggCount with empty Col,
+	// which counts rows).
+	Col string
+}
+
+func (a Aggregation) name() string {
+	if a.Col == "" {
+		return a.Func.String()
+	}
+	return fmt.Sprintf("%s(%s)", a.Func, a.Col)
+}
+
+// GroupBy groups t by a key column and computes aggregates per group,
+// returning a new table with one row per group, sorted by key. It backs
+// the highlight panels (e.g. tuples per country inside a region) — the
+// aggregation work MonetDB does for Blaeu's inspector views.
+func GroupBy(t *Table, key string, aggs ...Aggregation) (*Table, error) {
+	kc := t.ColumnByName(key)
+	if kc == nil {
+		return nil, fmt.Errorf("store: no column %q to group by", key)
+	}
+	type acc struct {
+		count int
+		sum   float64
+		min   float64
+		max   float64
+		seen  int
+	}
+	inCols := make([]Column, len(aggs))
+	for i, a := range aggs {
+		if a.Col == "" {
+			if a.Func != AggCount {
+				return nil, fmt.Errorf("store: aggregate %s needs a column", a.Func)
+			}
+			continue
+		}
+		c := t.ColumnByName(a.Col)
+		if c == nil {
+			return nil, fmt.Errorf("store: no column %q to aggregate", a.Col)
+		}
+		inCols[i] = c
+	}
+
+	groups := make(map[string][]*acc)
+	var keyOrder []string
+	for row := 0; row < t.NumRows(); row++ {
+		k := "\x00null"
+		if !kc.IsNull(row) {
+			k = kc.StringAt(row)
+		}
+		accs, ok := groups[k]
+		if !ok {
+			accs = make([]*acc, len(aggs))
+			for i := range accs {
+				accs[i] = &acc{min: math.Inf(1), max: math.Inf(-1)}
+			}
+			groups[k] = accs
+			keyOrder = append(keyOrder, k)
+		}
+		for i, a := range aggs {
+			if a.Col == "" {
+				accs[i].count++
+				continue
+			}
+			c := inCols[i]
+			if c.IsNull(row) {
+				continue
+			}
+			v := c.Float(row)
+			accs[i].count++
+			accs[i].sum += v
+			accs[i].seen++
+			if v < accs[i].min {
+				accs[i].min = v
+			}
+			if v > accs[i].max {
+				accs[i].max = v
+			}
+		}
+	}
+	sort.Strings(keyOrder)
+
+	out := NewTable(t.Name() + "_by_" + key)
+	keyCol := NewStringColumn(key)
+	aggCols := make([]*FloatColumn, len(aggs))
+	for i, a := range aggs {
+		aggCols[i] = NewFloatColumn(a.name())
+	}
+	for _, k := range keyOrder {
+		if k == "\x00null" {
+			keyCol.AppendNull()
+		} else {
+			keyCol.Append(k)
+		}
+		for i, a := range aggs {
+			g := groups[k][i]
+			switch a.Func {
+			case AggCount:
+				aggCols[i].Append(float64(g.count))
+			case AggSum:
+				aggCols[i].Append(g.sum)
+			case AggMean:
+				if g.seen == 0 {
+					aggCols[i].AppendNull()
+				} else {
+					aggCols[i].Append(g.sum / float64(g.seen))
+				}
+			case AggMin:
+				if math.IsInf(g.min, 1) {
+					aggCols[i].AppendNull()
+				} else {
+					aggCols[i].Append(g.min)
+				}
+			case AggMax:
+				if math.IsInf(g.max, -1) {
+					aggCols[i].AppendNull()
+				} else {
+					aggCols[i].Append(g.max)
+				}
+			}
+		}
+	}
+	if err := out.AddColumn(keyCol); err != nil {
+		return nil, err
+	}
+	for _, c := range aggCols {
+		if err := out.AddColumn(c); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

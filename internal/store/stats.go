@@ -1,0 +1,221 @@
+package store
+
+import (
+	"math"
+	"sort"
+)
+
+// ColumnStats summarizes a column in one pass; it backs Blaeu's highlight
+// panels and the preprocessing heuristics (key detection, normalization).
+type ColumnStats struct {
+	Name      string
+	Type      Type
+	Count     int // non-null rows
+	Nulls     int
+	Distinct  int
+	Min, Max  float64 // numeric columns only (NaN otherwise)
+	Mean, Std float64 // numeric columns only
+	// TopValues holds the most frequent values, most frequent first
+	// (categorical columns only).
+	TopValues []ValueCount
+}
+
+// ValueCount is a categorical value with its frequency.
+type ValueCount struct {
+	Value string
+	Count int
+}
+
+// Stats computes summary statistics for the named column.
+// It returns a zero-valued struct when the column does not exist.
+func Stats(t *Table, col string) ColumnStats {
+	c := t.ColumnByName(col)
+	if c == nil {
+		return ColumnStats{Name: col}
+	}
+	return ComputeStats(c)
+}
+
+// ComputeStats computes summary statistics for a column.
+func ComputeStats(c Column) ColumnStats {
+	s := ColumnStats{Name: c.Name(), Type: c.Type(), Min: math.NaN(), Max: math.NaN(),
+		Mean: math.NaN(), Std: math.NaN()}
+	n := c.Len()
+	if c.Type().IsNumeric() || c.Type() == Bool {
+		var sum, sumsq float64
+		min, max := math.Inf(1), math.Inf(-1)
+		distinct := make(map[float64]struct{})
+		for i := 0; i < n; i++ {
+			if c.IsNull(i) {
+				s.Nulls++
+				continue
+			}
+			v := c.Float(i)
+			s.Count++
+			sum += v
+			sumsq += v * v
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+			if len(distinct) <= 100000 {
+				distinct[v] = struct{}{}
+			}
+		}
+		s.Distinct = len(distinct)
+		if s.Count > 0 {
+			s.Min, s.Max = min, max
+			s.Mean = sum / float64(s.Count)
+			variance := sumsq/float64(s.Count) - s.Mean*s.Mean
+			if variance < 0 {
+				variance = 0
+			}
+			s.Std = math.Sqrt(variance)
+		}
+		return s
+	}
+	counts := make(map[string]int)
+	for i := 0; i < n; i++ {
+		if c.IsNull(i) {
+			s.Nulls++
+			continue
+		}
+		s.Count++
+		counts[c.StringAt(i)]++
+	}
+	s.Distinct = len(counts)
+	s.TopValues = topK(counts, 10)
+	return s
+}
+
+func topK(counts map[string]int, k int) []ValueCount {
+	out := make([]ValueCount, 0, len(counts))
+	for v, c := range counts {
+		out = append(out, ValueCount{Value: v, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value < out[j].Value
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// IsLikelyKey reports whether a column looks like a primary key or row
+// identifier: (almost) all values distinct and non-null. Blaeu's
+// preprocessing drops such columns before clustering (paper §3) because a
+// unique identifier carries no cluster structure.
+func IsLikelyKey(c Column) bool {
+	n := c.Len()
+	if n == 0 {
+		return false
+	}
+	s := ComputeStats(c)
+	if s.Nulls > 0 || s.Count == 0 {
+		return false
+	}
+	ratio := float64(s.Distinct) / float64(s.Count)
+	if c.Type() == String {
+		return ratio > 0.99
+	}
+	if c.Type() == Int64 {
+		// Integer keys are usually sequential or near-sequential.
+		if ratio <= 0.99 {
+			return false
+		}
+		span := s.Max - s.Min + 1
+		return span > 0 && float64(s.Count)/span > 0.5
+	}
+	return false
+}
+
+// Quantile returns the q-th quantile (0..1) of the non-null values of a
+// numeric column, using linear interpolation. It returns NaN when the
+// column has no usable values.
+func Quantile(c Column, q float64) float64 {
+	vals := NonNullFloats(c)
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(vals)
+	if q <= 0 {
+		return vals[0]
+	}
+	if q >= 1 {
+		return vals[len(vals)-1]
+	}
+	pos := q * float64(len(vals)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return vals[lo]
+	}
+	frac := pos - float64(lo)
+	return vals[lo]*(1-frac) + vals[hi]*frac
+}
+
+// Describe summarizes every column of t as a new table (one row per
+// column: type, counts, range, moments, distinct values) — the overview
+// panel an explorer reads before picking a theme.
+func Describe(t *Table) *Table {
+	out := NewTable(t.Name() + "_describe")
+	name := NewStringColumn("column")
+	typ := NewStringColumn("type")
+	count := NewIntColumn("count")
+	nulls := NewIntColumn("nulls")
+	distinct := NewIntColumn("distinct")
+	min := NewFloatColumn("min")
+	max := NewFloatColumn("max")
+	mean := NewFloatColumn("mean")
+	std := NewFloatColumn("std")
+	top := NewStringColumn("top")
+	for i := 0; i < t.NumCols(); i++ {
+		s := ComputeStats(t.Column(i))
+		name.Append(s.Name)
+		typ.Append(s.Type.String())
+		count.Append(int64(s.Count))
+		nulls.Append(int64(s.Nulls))
+		distinct.Append(int64(s.Distinct))
+		appendOrNull := func(c *FloatColumn, v float64) {
+			if math.IsNaN(v) {
+				c.AppendNull()
+			} else {
+				c.Append(v)
+			}
+		}
+		appendOrNull(min, s.Min)
+		appendOrNull(max, s.Max)
+		appendOrNull(mean, s.Mean)
+		appendOrNull(std, s.Std)
+		if len(s.TopValues) > 0 {
+			top.Append(s.TopValues[0].Value)
+		} else {
+			top.AppendNull()
+		}
+	}
+	for _, c := range []Column{name, typ, count, nulls, distinct, min, max, mean, std, top} {
+		out.MustAddColumn(c)
+	}
+	return out
+}
+
+// NonNullFloats extracts the non-null values of a column as float64s.
+func NonNullFloats(c Column) []float64 {
+	out := make([]float64, 0, c.Len())
+	for i := 0; i < c.Len(); i++ {
+		if c.IsNull(i) {
+			continue
+		}
+		v := c.Float(i)
+		if !math.IsNaN(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Field describes one column of a schema.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// Schema is the ordered list of fields of a table.
+type Schema []Field
+
+// String renders the schema as "name TYPE, ...".
+func (s Schema) String() string {
+	out := ""
+	for i, f := range s {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s %s", f.Name, f.Type)
+	}
+	return out
+}
+
+// Table is a named collection of equal-length columns.
+type Table struct {
+	name    string
+	cols    []Column
+	colIdx  map[string]int
+	numRows int
+}
+
+// NewTable returns an empty table with the given name.
+func NewTable(name string) *Table {
+	return &Table{name: name, colIdx: make(map[string]int)}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// SetName renames the table.
+func (t *Table) SetName(name string) { t.name = name }
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return t.numRows }
+
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return len(t.cols) }
+
+// AddColumn appends a column. All columns must have equal length; the first
+// column fixes the row count.
+func (t *Table) AddColumn(c Column) error {
+	if _, dup := t.colIdx[c.Name()]; dup {
+		return fmt.Errorf("store: duplicate column %q in table %q", c.Name(), t.name)
+	}
+	if len(t.cols) > 0 && c.Len() != t.numRows {
+		return fmt.Errorf("store: column %q has %d rows, table %q has %d",
+			c.Name(), c.Len(), t.name, t.numRows)
+	}
+	if len(t.cols) == 0 {
+		t.numRows = c.Len()
+	}
+	t.colIdx[c.Name()] = len(t.cols)
+	t.cols = append(t.cols, c)
+	return nil
+}
+
+// MustAddColumn is AddColumn that panics on error; for construction code
+// where the schema is static.
+func (t *Table) MustAddColumn(c Column) {
+	if err := t.AddColumn(c); err != nil {
+		panic(err)
+	}
+}
+
+// Column returns the i-th column.
+func (t *Table) Column(i int) Column { return t.cols[i] }
+
+// ColumnByName returns the named column, or nil if absent.
+func (t *Table) ColumnByName(name string) Column {
+	i, ok := t.colIdx[name]
+	if !ok {
+		return nil
+	}
+	return t.cols[i]
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	i, ok := t.colIdx[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// ColumnNames returns the column names in schema order.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		out[i] = c.Name()
+	}
+	return out
+}
+
+// Schema returns the table schema.
+func (t *Table) Schema() Schema {
+	s := make(Schema, len(t.cols))
+	for i, c := range t.cols {
+		s[i] = Field{Name: c.Name(), Type: c.Type()}
+	}
+	return s
+}
+
+// Project returns a new table with only the named columns, sharing column
+// storage with the receiver (columns are immutable once built).
+func (t *Table) Project(names ...string) (*Table, error) {
+	out := NewTable(t.name)
+	for _, n := range names {
+		c := t.ColumnByName(n)
+		if c == nil {
+			return nil, fmt.Errorf("store: no column %q in table %q", n, t.name)
+		}
+		if err := out.AddColumn(c); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Drop returns a new table without the named columns.
+func (t *Table) Drop(names ...string) *Table {
+	dropped := make(map[string]bool, len(names))
+	for _, n := range names {
+		dropped[n] = true
+	}
+	out := NewTable(t.name)
+	for _, c := range t.cols {
+		if !dropped[c.Name()] {
+			out.MustAddColumn(c)
+		}
+	}
+	return out
+}
+
+// Gather returns a new materialized table containing the given rows in order.
+func (t *Table) Gather(rows []int) *Table {
+	out := NewTable(t.name)
+	for _, c := range t.cols {
+		out.MustAddColumn(c.Gather(rows))
+	}
+	if len(t.cols) == 0 {
+		out.numRows = len(rows)
+	}
+	return out
+}
+
+// Head returns the first n rows (or fewer).
+func (t *Table) Head(n int) *Table {
+	if n > t.numRows {
+		n = t.numRows
+	}
+	out := NewTable(t.name)
+	for _, c := range t.cols {
+		out.MustAddColumn(c.Slice(0, n))
+	}
+	return out
+}
+
+// Filter returns the indices of rows matching the predicate, in order.
+func (t *Table) Filter(p Predicate) []int {
+	var out []int
+	for i := 0; i < t.numRows; i++ {
+		if p.Matches(t, i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Where returns a new materialized table of the rows matching the predicate.
+func (t *Table) Where(p Predicate) *Table {
+	return t.Gather(t.Filter(p))
+}
+
+// Sample returns up to n row indices drawn uniformly without replacement
+// using the given source. The result is sorted ascending so downstream
+// scans stay sequential (mirrors MonetDB's SAMPLE).
+func (t *Table) Sample(n int, rng *rand.Rand) []int {
+	return SampleIndices(t.numRows, n, rng)
+}
+
+// SampleTable returns a materialized uniform sample of up to n rows.
+func (t *Table) SampleTable(n int, rng *rand.Rand) *Table {
+	return t.Gather(t.Sample(n, rng))
+}
+
+// SampleIndices draws up to k of the integers [0,n) uniformly without
+// replacement, returned sorted ascending. When k >= n it returns all rows.
+func SampleIndices(n, k int, rng *rand.Rand) []int {
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	// Floyd's algorithm: k iterations, no O(n) shuffle.
+	chosen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		v := rng.Intn(j + 1)
+		if chosen[v] {
+			v = j
+		}
+		chosen[v] = true
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Row renders row i as strings in schema order (nulls render as "").
+func (t *Table) Row(i int) []string {
+	out := make([]string, len(t.cols))
+	for j, c := range t.cols {
+		out[j] = c.StringAt(i)
+	}
+	return out
+}
+
+// Clone returns a deep logical copy (columns are rebuilt).
+func (t *Table) Clone() *Table {
+	rows := make([]int, t.numRows)
+	for i := range rows {
+		rows[i] = i
+	}
+	out := t.Gather(rows)
+	return out
+}
