@@ -57,6 +57,7 @@ func BenchmarkE1Sampling(b *testing.B)     { benchExperiment(b, "e1", 0.1) }
 func BenchmarkE2ClaraVsPam(b *testing.B)   { benchExperiment(b, "e2", 0.25) }
 func BenchmarkE3MCSilhouette(b *testing.B) { benchExperiment(b, "e3", 0.25) }
 func BenchmarkE4AutoK(b *testing.B)        { benchExperiment(b, "e4", 0.5) }
+func BenchmarkE5SwapEngines(b *testing.B)  { benchExperiment(b, "e5", 0.25) }
 
 // --- Ablations ---
 
@@ -77,19 +78,31 @@ func benchVectors(n, dims, k int) ([][]float64, []int) {
 	return vecs, ds.Truth["rows"]
 }
 
-func BenchmarkPAM(b *testing.B) {
-	for _, n := range []int{200, 500, 1000} {
-		vecs, _ := benchVectors(n, 6, 4)
+// pamBenchSizes is the shared grid of BenchmarkPAM (FasterPAM, the
+// default) and BenchmarkPAMClassic (the textbook SWAP loop), so the two
+// benchmarks are directly comparable; the headline comparison of the
+// FasterPAM PR is n=1000, k=8.
+var pamBenchSizes = []struct{ n, k int }{
+	{200, 4}, {500, 4}, {1000, 4}, {1000, 8},
+}
+
+func benchPAMAlgorithm(b *testing.B, algo cluster.Algorithm) {
+	b.Helper()
+	for _, sz := range pamBenchSizes {
+		vecs, _ := benchVectors(sz.n, 6, sz.k)
 		m := cluster.ComputeDistMatrix(vecs, stats.Euclidean{})
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+		b.Run(fmt.Sprintf("n=%d/k=%d", sz.n, sz.k), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := cluster.PAM(m, 4); err != nil {
+				if _, err := cluster.PAMWith(m, sz.k, algo); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 	}
 }
+
+func BenchmarkPAM(b *testing.B)        { benchPAMAlgorithm(b, cluster.AlgorithmFasterPAM) }
+func BenchmarkPAMClassic(b *testing.B) { benchPAMAlgorithm(b, cluster.AlgorithmClassic) }
 
 func BenchmarkCLARA(b *testing.B) {
 	for _, n := range []int{1000, 10000, 50000} {

@@ -13,6 +13,14 @@
 // are navigated with four reversible actions: zoom, highlight, project and
 // rollback.
 //
+// Both clustering passes run on every user action, so the PAM SWAP phase
+// is the engine's hottest path. By default it uses a FasterPAM-style
+// eager-swap loop (Schubert & Rousseeuw's removal-loss decomposition,
+// O(n²) per pass instead of the textbook O(k·n²)) with candidate scoring
+// parallelized across CPUs; set Options.PAMAlgorithm to
+// cluster.AlgorithmClassic to fall back to the reference Kaufman &
+// Rousseeuw loop, e.g. for differential runs (see the e5 experiment).
+//
 // Quickstart:
 //
 //	table, _ := blaeu.ReadCSVFile("countries.csv", nil)

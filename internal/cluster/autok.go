@@ -37,6 +37,10 @@ type AutoKOptions struct {
 	KMin, KMax int
 	// Method selects PAM vs CLARA (default MethodAuto).
 	Method Method
+	// Algorithm selects the PAM SWAP implementation — the fast default
+	// (AlgorithmFasterPAM) or the textbook reference (AlgorithmClassic) —
+	// for both direct PAM runs and CLARA's per-sample runs.
+	Algorithm Algorithm
 	// LargeThreshold is the object count above which MethodAuto switches
 	// to CLARA (default 2000).
 	LargeThreshold int
@@ -79,9 +83,10 @@ func ClusterK(o Oracle, k int, opts AutoKOptions) (*Clustering, error) {
 	case MethodCLARA:
 		co := opts.CLARA
 		co.Rand = opts.Rand
+		co.Algorithm = opts.Algorithm
 		return CLARA(o, k, co)
 	default:
-		return PAM(o, k)
+		return PAMWith(o, k, opts.Algorithm)
 	}
 }
 

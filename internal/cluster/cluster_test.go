@@ -82,6 +82,27 @@ func TestDistMatrix(t *testing.T) {
 	}
 }
 
+func TestDistMatrixRowInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{1, 2, 3, 7, 40} {
+		m := NewDistMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				m.Set(i, j, rng.Float64())
+			}
+		}
+		row := make([]float64, n)
+		for i := 0; i < n; i++ {
+			m.RowInto(i, row)
+			for j := 0; j < n; j++ {
+				if row[j] != m.Dist(i, j) {
+					t.Fatalf("n=%d: RowInto(%d)[%d] = %g, Dist = %g", n, i, j, row[j], m.Dist(i, j))
+				}
+			}
+		}
+	}
+}
+
 func TestDistMatrixSetDiagonalPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -102,6 +102,33 @@ func (m *DistMatrix) Set(i, j int, v float64) {
 	m.data[m.idx(i, j)] = v
 }
 
+// RowOracle is an Oracle that can materialize a full row of distances in
+// one call. Hot loops (PAM's BUILD scoring, FasterPAM's candidate
+// evaluation) scan an entire row per step; materializing it replaces n
+// interface calls and index computations with one sequential pass over
+// the condensed storage.
+type RowOracle interface {
+	Oracle
+	// RowInto fills dst[j] = Dist(i, j) for all j; dst must have length N().
+	RowInto(i int, dst []float64)
+}
+
+// RowInto implements RowOracle. For j < i the condensed layout strides
+// across rows (the offset advances by n-j-2, a stride that shrinks as j
+// grows); for j > i the row is one contiguous block.
+func (m *DistMatrix) RowInto(i int, dst []float64) {
+	off := i - 1 // idx(0, i)
+	for j := 0; j < i; j++ {
+		dst[j] = m.data[off]
+		off += m.n - j - 2
+	}
+	dst[i] = 0
+	if i+1 < m.n {
+		base := m.idx(i, i+1)
+		copy(dst[i+1:], m.data[base:base+m.n-i-1])
+	}
+}
+
 // VectorOracle computes distances between vectors on demand, without
 // materializing the O(n²) matrix; used by CLARA's full-data assignment
 // pass and by Monte-Carlo silhouettes on large selections.

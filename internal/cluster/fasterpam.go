@@ -1,0 +1,472 @@
+package cluster
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Algorithm selects the SWAP strategy used by the k-medoid algorithms.
+type Algorithm int
+
+const (
+	// AlgorithmFasterPAM (the default) uses the removal-loss decomposition
+	// of Schubert & Rousseeuw, "Fast and Eager k-Medoids Clustering"
+	// (2021): every candidate is evaluated against all k medoids in a
+	// single O(n) pass and improving swaps are applied eagerly, dropping a
+	// SWAP iteration from the textbook O(k·n²) to O(n²).
+	AlgorithmFasterPAM Algorithm = iota
+	// AlgorithmClassic is the textbook Kaufman & Rousseeuw SWAP loop,
+	// kept as the reference implementation for differential testing.
+	AlgorithmClassic
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	if a == AlgorithmClassic {
+		return "classic"
+	}
+	return "fasterpam"
+}
+
+// swapBlock is the number of candidates evaluated per parallel batch of
+// the eager SWAP loop. It is a fixed constant — not a function of
+// GOMAXPROCS — so clustering results never depend on the machine's core
+// count, only on the input.
+const swapBlock = 64
+
+// parallelThreshold is the input size below which the parallel helpers
+// run sequentially; goroutine overhead dominates under it.
+const parallelThreshold = 128
+
+// maxWorkers caps the fan-out of the parallel helpers. A variable (not a
+// call site constant) so tests can force the parallel code paths on
+// single-CPU machines and the race detector can see them.
+var maxWorkers = runtime.NumCPU()
+
+// rangeWorkers returns how many workers an n-item parallel job should
+// fan out to: 1 (sequential) below parallelThreshold, else up to
+// maxWorkers capped at n.
+func rangeWorkers(n int) int {
+	if n < parallelThreshold || maxWorkers <= 1 {
+		return 1
+	}
+	return min(maxWorkers, n)
+}
+
+// parallelChunks is the one worker-pool idiom every parallel helper here
+// builds on: it splits [0,n) into one contiguous chunk per worker and
+// runs fn(worker, lo, hi) concurrently. Worker indices are dense in
+// [0, workers) and chunk w covers lower indices than chunk w+1, which
+// reductions rely on for deterministic tie-breaking. workers <= 1 runs
+// inline.
+func parallelChunks(n, workers int, fn func(w, lo, hi int)) {
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	w := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+		w++
+	}
+	wg.Wait()
+}
+
+// argMinScore evaluates score(i) for every i in [0,n) across CPUs and
+// returns the argmin and its value. Each worker gets a private scratch
+// slice of scratchLen floats (nil when scratchLen is 0) so score can
+// materialize distance rows without per-call allocation. Exact ties
+// resolve to the lowest index, so the result is identical to a
+// sequential first-wins scan regardless of core count.
+func argMinScore(n, scratchLen int, score func(i int, scratch []float64) float64) (int, float64) {
+	workers := rangeWorkers(n)
+	type result struct {
+		idx int
+		val float64
+	}
+	results := make([]result, workers)
+	for w := range results {
+		// parallelChunks may launch fewer chunks than workers (chunk size
+		// is rounded up); unwritten slots must lose every comparison, not
+		// sit at the zero value {idx: 0, val: 0} pretending object 0
+		// scored 0.
+		results[w] = result{-1, math.Inf(1)}
+	}
+	parallelChunks(n, workers, func(w, lo, hi int) {
+		best, bestV := -1, math.Inf(1)
+		var scratch []float64
+		if scratchLen > 0 {
+			scratch = make([]float64, scratchLen)
+		}
+		for i := lo; i < hi; i++ {
+			if v := score(i, scratch); v < bestV {
+				best, bestV = i, v
+			}
+		}
+		results[w] = result{best, bestV}
+	})
+	best, bestV := -1, math.Inf(1)
+	// Chunks are in ascending index order, so a strict < keeps the lowest
+	// index on ties.
+	for _, r := range results {
+		if r.idx >= 0 && r.val < bestV {
+			best, bestV = r.idx, r.val
+		}
+	}
+	return best, bestV
+}
+
+// parallelRange splits [0,n) into contiguous chunks and runs fn on each
+// across CPUs; sequential below parallelThreshold.
+func parallelRange(n int, fn func(lo, hi int)) {
+	parallelChunks(n, rangeWorkers(n), func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// pamBuild is PAM's BUILD phase: pick the object minimizing total distance
+// as the first medoid, then greedily add the object that most reduces the
+// total dissimilarity. Candidate scoring is spread across CPUs; the result
+// is identical to the sequential scan (ties break to the lowest index).
+// Shared by FasterPAM and PAMClassic, so both start from the same seed
+// medoids — the property differential tests rely on.
+func pamBuild(o Oracle, k int) []int {
+	n := o.N()
+	medoids := make([]int, 0, k)
+	ro, fastRows := o.(RowOracle)
+	scratchLen := 0
+	if fastRows {
+		scratchLen = n
+	}
+
+	// First medoid: the most central object.
+	first, _ := argMinScore(n, scratchLen, func(i int, row []float64) float64 {
+		sum := 0.0
+		if fastRows {
+			ro.RowInto(i, row)
+			for _, d := range row {
+				sum += d
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				sum += o.Dist(i, j)
+			}
+		}
+		return sum
+	})
+	medoids = append(medoids, first)
+
+	nearest := make([]float64, n)
+	for j := 0; j < n; j++ {
+		nearest[j] = o.Dist(j, first)
+	}
+	chosen := make([]bool, n)
+	chosen[first] = true
+
+	for len(medoids) < k {
+		// Greedy addition: maximize the total distance reduction (argmin
+		// of the negated gain).
+		bestI, _ := argMinScore(n, scratchLen, func(i int, row []float64) float64 {
+			if chosen[i] {
+				return math.Inf(1)
+			}
+			gain := 0.0
+			if fastRows {
+				ro.RowInto(i, row)
+				for j := 0; j < n; j++ {
+					if chosen[j] || j == i {
+						continue
+					}
+					if d := row[j]; d < nearest[j] {
+						gain += nearest[j] - d
+					}
+				}
+			} else {
+				for j := 0; j < n; j++ {
+					if chosen[j] || j == i {
+						continue
+					}
+					if d := o.Dist(i, j); d < nearest[j] {
+						gain += nearest[j] - d
+					}
+				}
+			}
+			return -gain
+		})
+		chosen[bestI] = true
+		medoids = append(medoids, bestI)
+		for j := 0; j < n; j++ {
+			if d := o.Dist(j, bestI); d < nearest[j] {
+				nearest[j] = d
+			}
+		}
+	}
+	return medoids
+}
+
+// swapState is the incremental bookkeeping of the FasterPAM SWAP phase:
+// for every object the slot (position in medoids) and distance of its
+// nearest and second-nearest medoid, plus the per-medoid removal losses.
+type swapState struct {
+	o        Oracle
+	ro       RowOracle // non-nil when o can materialize rows
+	n, k     int
+	medoids  []int
+	isMedoid []bool
+	n1, n2   []int     // slot of nearest / second-nearest medoid
+	dn, ds   []float64 // distance to nearest / second-nearest medoid
+	loss     []float64 // removal loss ΔTD⁻ per medoid slot
+	cost     float64
+}
+
+func newSwapState(o Oracle, medoids []int) *swapState {
+	n := o.N()
+	s := &swapState{
+		o: o, n: n, k: len(medoids), medoids: medoids,
+		isMedoid: make([]bool, n),
+		n1:       make([]int, n), n2: make([]int, n),
+		dn: make([]float64, n), ds: make([]float64, n),
+		loss: make([]float64, len(medoids)),
+	}
+	s.ro, _ = o.(RowOracle)
+	for _, m := range medoids {
+		s.isMedoid[m] = true
+	}
+	parallelRange(n, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			s.reassign(j)
+		}
+	})
+	s.refresh()
+	return s
+}
+
+// reassign recomputes object j's nearest and second-nearest medoid with a
+// full O(k) scan — the fallback when an incremental update is impossible.
+func (s *swapState) reassign(j int) {
+	d1, d2 := math.Inf(1), math.Inf(1)
+	i1, i2 := -1, -1
+	for slot, m := range s.medoids {
+		d := s.o.Dist(j, m)
+		if d < d1 {
+			d2, i2 = d1, i1
+			d1, i1 = d, slot
+		} else if d < d2 {
+			d2, i2 = d, slot
+		}
+	}
+	s.dn[j], s.ds[j] = d1, d2
+	s.n1[j], s.n2[j] = i1, i2
+}
+
+// refresh recomputes the removal losses and total cost from the cached
+// nearest/second arrays in O(n+k). The removal loss of medoid i is the
+// cost increase of deleting it with no replacement: every member falls
+// back to its second-nearest medoid.
+func (s *swapState) refresh() {
+	for i := range s.loss {
+		s.loss[i] = 0
+	}
+	total := 0.0
+	for j := 0; j < s.n; j++ {
+		s.loss[s.n1[j]] += s.ds[j] - s.dn[j]
+		total += s.dn[j]
+	}
+	s.cost = total
+}
+
+// evalCandidate computes, in ONE O(n) pass, the cost delta of swapping
+// candidate c in for the best possible of all k current medoids — the
+// FasterPAM removal-loss decomposition. scratch must be k-sized; it
+// accumulates the per-medoid delta while acc collects the shared gain of
+// objects that move to c no matter which medoid is removed. row is an
+// n-sized buffer used to materialize c's distance row on RowOracles (nil
+// is fine otherwise). Returns the best total delta and the slot of the
+// medoid to remove.
+func (s *swapState) evalCandidate(c int, scratch, row []float64) (float64, int) {
+	copy(scratch, s.loss)
+	acc := 0.0
+	if s.ro != nil {
+		s.ro.RowInto(c, row)
+		for j, d := range row {
+			if d < s.dn[j] {
+				// j switches to c regardless of the removed medoid; cancel
+				// its removal-loss contribution (it no longer falls back
+				// to its second when its nearest goes away).
+				acc += d - s.dn[j]
+				scratch[s.n1[j]] += s.dn[j] - s.ds[j]
+			} else if d < s.ds[j] {
+				// j switches to c only if its nearest medoid is the one
+				// removed: it prefers c over its current second.
+				scratch[s.n1[j]] += d - s.ds[j]
+			}
+		}
+	} else {
+		for j := 0; j < s.n; j++ {
+			d := s.o.Dist(j, c)
+			if d < s.dn[j] {
+				acc += d - s.dn[j]
+				scratch[s.n1[j]] += s.dn[j] - s.ds[j]
+			} else if d < s.ds[j] {
+				scratch[s.n1[j]] += d - s.ds[j]
+			}
+		}
+	}
+	bestSlot := 0
+	for i := 1; i < s.k; i++ {
+		if scratch[i] < scratch[bestSlot] {
+			bestSlot = i
+		}
+	}
+	return acc + scratch[bestSlot], bestSlot
+}
+
+// applySwap installs candidate c in the given medoid slot and repairs the
+// nearest/second bookkeeping incrementally: most objects need O(1) work,
+// only those whose nearest or second was the replaced medoid fall back to
+// an O(k) rescan. Classic PAM instead re-ran a full O(n·k) assignment
+// after every swap.
+func (s *swapState) applySwap(slot, c int, row []float64) {
+	s.isMedoid[s.medoids[slot]] = false
+	s.isMedoid[c] = true
+	s.medoids[slot] = c
+	if s.ro != nil {
+		s.ro.RowInto(c, row)
+	}
+	parallelRange(s.n, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			var d float64
+			if s.ro != nil {
+				d = row[j]
+			} else {
+				d = s.o.Dist(j, c)
+			}
+			switch {
+			case s.n1[j] == slot:
+				if d <= s.ds[j] {
+					// Slot stays nearest, now holding c; the second-best
+					// medoid is untouched.
+					s.dn[j] = d
+				} else {
+					s.reassign(j)
+				}
+			case s.n2[j] == slot:
+				if d < s.dn[j] {
+					// c leapfrogs the old nearest: it becomes second.
+					s.n2[j], s.ds[j] = s.n1[j], s.dn[j]
+					s.n1[j], s.dn[j] = slot, d
+				} else {
+					// The second-nearest medoid was replaced by something
+					// farther; the new runner-up is unknown.
+					s.reassign(j)
+				}
+			default:
+				if d < s.dn[j] {
+					s.n2[j], s.ds[j] = s.n1[j], s.dn[j]
+					s.n1[j], s.dn[j] = slot, d
+				} else if d < s.ds[j] {
+					s.n2[j], s.ds[j] = slot, d
+				}
+			}
+		}
+	})
+	s.refresh()
+}
+
+// FasterPAM runs PAM with the eager removal-loss SWAP phase: the same
+// BUILD seeding as PAMClassic, then repeated passes over the non-medoids
+// where each candidate is scored against all k medoids at once and the
+// best improving swap of every block is applied immediately (without
+// waiting for the full pass to finish, unlike the classic steepest-descent
+// loop). Converges when a complete pass yields no improving swap, i.e. at
+// a local optimum of exactly the same swap neighborhood classic PAM uses.
+func FasterPAM(o Oracle, k int) (*Clustering, error) {
+	if c, err := checkPAMArgs(o, k); c != nil || err != nil {
+		return c, err
+	}
+	n := o.N()
+	medoids := pamBuild(o, k)
+
+	if k == 1 {
+		// BUILD's first medoid is already the global optimum for k=1 (it
+		// minimizes the total distance), so SWAP has nothing to do.
+		labels, cost := AssignToMedoids(o, medoids)
+		return &Clustering{K: 1, Labels: labels, Medoids: medoids, Cost: cost, Silhouette: math.NaN()}, nil
+	}
+
+	s := newSwapState(o, medoids)
+	type verdict struct {
+		delta float64
+		slot  int
+	}
+	cands := make([]int, 0, swapBlock)
+	out := make([]verdict, swapBlock)
+	rowLen := 0
+	if s.ro != nil {
+		rowLen = n
+	}
+	// Per-worker scratch, allocated once for the whole run: the SWAP loop
+	// calls evalBlock constantly and per-block buffers would be pure GC
+	// churn on its hottest path.
+	blockWorkers := min(maxWorkers, swapBlock)
+	scratchBufs := make([][]float64, blockWorkers)
+	rowBufs := make([][]float64, blockWorkers)
+	for w := range scratchBufs {
+		scratchBufs[w] = make([]float64, s.k)
+		rowBufs[w] = make([]float64, rowLen)
+	}
+
+	evalBlock := func(cands []int) {
+		// Each candidate costs O(n), so parallelism pays off even for a
+		// partial block as long as the inner pass is long enough.
+		workers := min(blockWorkers, len(cands))
+		if n < parallelThreshold {
+			workers = 1
+		}
+		parallelChunks(len(cands), workers, func(w, lo, hi int) {
+			for bi := lo; bi < hi; bi++ {
+				out[bi].delta, out[bi].slot = s.evalCandidate(cands[bi], scratchBufs[w], rowBufs[w])
+			}
+		})
+	}
+
+	for pass := 0; pass < maxSwapIters; pass++ {
+		improved := false
+		for start := 0; start < n; start += swapBlock {
+			end := min(start+swapBlock, n)
+			cands = cands[:0]
+			for c := start; c < end; c++ {
+				if !s.isMedoid[c] {
+					cands = append(cands, c)
+				}
+			}
+			if len(cands) == 0 {
+				continue
+			}
+			evalBlock(cands)
+			best := -1
+			for bi := range cands {
+				// Same numeric guard as the classic loop so FP noise never
+				// causes swap cycles; ties keep the lowest candidate index.
+				if out[bi].delta < -1e-12 && (best < 0 || out[bi].delta < out[best].delta) {
+					best = bi
+				}
+			}
+			if best >= 0 {
+				s.applySwap(out[best].slot, cands[best], rowBufs[0])
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	return &Clustering{K: k, Labels: s.n1, Medoids: s.medoids, Cost: s.cost, Silhouette: math.NaN()}, nil
+}

@@ -7,7 +7,8 @@ import (
 
 // Clustering is the result of a partitional clustering run.
 type Clustering struct {
-	// K is the number of clusters.
+	// K is the effective number of clusters. It can be lower than the
+	// requested k when the data has too few objects (see PAM).
 	K int
 	// Labels assigns each object to a cluster in [0,K).
 	Labels []int
@@ -37,16 +38,9 @@ func (c *Clustering) Sizes() []int {
 // converges quickly in practice, this is a safety net.
 const maxSwapIters = 100
 
-// PAM runs Partitioning Around Medoids (Kaufman & Rousseeuw 1990) on the
-// oracle: a BUILD phase greedily seeds k medoids, then a SWAP phase
-// repeatedly exchanges a medoid with a non-medoid whenever that lowers the
-// total dissimilarity, until no improving swap exists.
-//
-// PAM is the paper's clustering algorithm of choice for both theme
-// detection (on the dependency graph) and map construction (§3), because
-// it is "accurate, well established and fast enough" and, unlike k-means,
-// needs only pairwise dissimilarities (so it copes with mixed data).
-func PAM(o Oracle, k int) (*Clustering, error) {
+// checkPAMArgs validates common PAM preconditions and, when k >= n,
+// returns the degenerate clustering every k-medoid variant shares.
+func checkPAMArgs(o Oracle, k int) (*Clustering, error) {
 	n := o.N()
 	if k <= 0 {
 		return nil, fmt.Errorf("cluster: PAM needs k >= 1, got %d", k)
@@ -55,15 +49,54 @@ func PAM(o Oracle, k int) (*Clustering, error) {
 		return nil, fmt.Errorf("cluster: PAM on empty data")
 	}
 	if k >= n {
-		// Every object its own medoid (k capped at n).
+		// Fewer objects than requested clusters: every object becomes its
+		// own medoid, so the effective K is n (callers observe K, not the
+		// requested k) and the cost — each object sits on its medoid — is
+		// exactly zero. Set it explicitly so the field is always meaningful.
 		labels := make([]int, n)
 		medoids := make([]int, n)
 		for i := range labels {
 			labels[i] = i
 			medoids[i] = i
 		}
-		return &Clustering{K: n, Labels: labels, Medoids: medoids, Silhouette: math.NaN()}, nil
+		return &Clustering{K: n, Labels: labels, Medoids: medoids, Cost: 0, Silhouette: math.NaN()}, nil
 	}
+	return nil, nil
+}
+
+// PAM runs Partitioning Around Medoids on the oracle using the default
+// algorithm (AlgorithmFasterPAM): a parallel BUILD phase greedily seeds k
+// medoids, then a FasterPAM-style SWAP phase eagerly applies improving
+// swaps until a local optimum is reached. Use PAMWith to select the
+// classic Kaufman & Rousseeuw SWAP loop instead.
+//
+// PAM is the paper's clustering algorithm of choice for both theme
+// detection (on the dependency graph) and map construction (§3), because
+// it is "accurate, well established and fast enough" and, unlike k-means,
+// needs only pairwise dissimilarities (so it copes with mixed data).
+func PAM(o Oracle, k int) (*Clustering, error) {
+	return FasterPAM(o, k)
+}
+
+// PAMWith runs PAM with an explicit SWAP algorithm.
+func PAMWith(o Oracle, k int, algo Algorithm) (*Clustering, error) {
+	if algo == AlgorithmClassic {
+		return PAMClassic(o, k)
+	}
+	return FasterPAM(o, k)
+}
+
+// PAMClassic is the textbook PAM of Kaufman & Rousseeuw (1990): a BUILD
+// phase greedily seeds k medoids, then a SWAP phase repeatedly exchanges
+// the single best (medoid, candidate) pair whenever that lowers the total
+// dissimilarity, until no improving swap exists. Each SWAP iteration costs
+// O(k·n²); it is kept as the reference implementation for differential
+// testing of FasterPAM and as the baseline of the e5 experiment.
+func PAMClassic(o Oracle, k int) (*Clustering, error) {
+	if c, err := checkPAMArgs(o, k); c != nil || err != nil {
+		return c, err
+	}
+	n := o.N()
 
 	medoids := pamBuild(o, k)
 	// nearest[i] = distance to closest medoid, second[i] = to 2nd closest.
@@ -137,63 +170,6 @@ func PAM(o Oracle, k int) (*Clustering, error) {
 	}
 
 	return &Clustering{K: k, Labels: labels, Medoids: medoids, Cost: cost, Silhouette: math.NaN()}, nil
-}
-
-// pamBuild is PAM's BUILD phase: pick the object minimizing total distance
-// as the first medoid, then greedily add the object that most reduces the
-// total dissimilarity.
-func pamBuild(o Oracle, k int) []int {
-	n := o.N()
-	medoids := make([]int, 0, k)
-
-	// First medoid: the most central object.
-	best, bestSum := 0, math.Inf(1)
-	for i := 0; i < n; i++ {
-		sum := 0.0
-		for j := 0; j < n; j++ {
-			sum += o.Dist(i, j)
-		}
-		if sum < bestSum {
-			best, bestSum = i, sum
-		}
-	}
-	medoids = append(medoids, best)
-
-	nearest := make([]float64, n)
-	for j := 0; j < n; j++ {
-		nearest[j] = o.Dist(j, best)
-	}
-	chosen := make([]bool, n)
-	chosen[best] = true
-
-	for len(medoids) < k {
-		bestI, bestGain := -1, -math.Inf(1)
-		for i := 0; i < n; i++ {
-			if chosen[i] {
-				continue
-			}
-			gain := 0.0
-			for j := 0; j < n; j++ {
-				if chosen[j] || j == i {
-					continue
-				}
-				if d := o.Dist(i, j); d < nearest[j] {
-					gain += nearest[j] - d
-				}
-			}
-			if gain > bestGain {
-				bestI, bestGain = i, gain
-			}
-		}
-		chosen[bestI] = true
-		medoids = append(medoids, bestI)
-		for j := 0; j < n; j++ {
-			if d := o.Dist(j, bestI); d < nearest[j] {
-				nearest[j] = d
-			}
-		}
-	}
-	return medoids
 }
 
 // AssignToMedoids labels every object of the oracle with its nearest

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/datagen"
 	"repro/internal/eval"
 	"repro/internal/store"
@@ -93,6 +94,34 @@ func TestNewExplorerDetectsThemes(t *testing.T) {
 	}
 	if find("Unemployment") != find("LongTermUnemployment") {
 		t.Error("unemployment columns split across themes")
+	}
+}
+
+// TestExplorerOptionsReportsEffectiveDefaults: Options() must return the
+// options the engine actually runs with — defaults applied — not the
+// sparse struct the caller passed in.
+func TestExplorerOptionsReportsEffectiveDefaults(t *testing.T) {
+	tab, _, _ := laborTable(200, 1)
+	e, err := NewExplorer(tab, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.Options()
+	want := DefaultOptions()
+	if got.SampleSize != want.SampleSize || got.PAMThreshold != want.PAMThreshold {
+		t.Errorf("Options() = sample %d threshold %d, want defaults %d / %d",
+			got.SampleSize, got.PAMThreshold, want.SampleSize, want.PAMThreshold)
+	}
+	if got.PAMAlgorithm != cluster.AlgorithmFasterPAM {
+		t.Errorf("default PAMAlgorithm = %v, want fasterpam", got.PAMAlgorithm)
+	}
+
+	e2, err := NewExplorer(tab, Options{Seed: 1, PAMAlgorithm: cluster.AlgorithmClassic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Options().PAMAlgorithm != cluster.AlgorithmClassic {
+		t.Error("explicit PAMAlgorithm not reported back")
 	}
 }
 

@@ -75,6 +75,10 @@ func NewExplorer(t *store.Table, opts Options) (*Explorer, error) {
 // Table returns the underlying table.
 func (e *Explorer) Table() *store.Table { return e.table }
 
+// Options returns the effective engine options (defaults applied),
+// including the PAM SWAP algorithm the session clusters with.
+func (e *Explorer) Options() Options { return e.opts }
+
 // Themes returns the detected themes, most cohesive first (Fig. 1a).
 func (e *Explorer) Themes() []Theme { return e.themes }
 

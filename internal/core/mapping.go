@@ -87,6 +87,7 @@ func (e *Explorer) buildMap(rows []int, theme Theme) (*Map, error) {
 			KMin:                  e.opts.MapKMin,
 			KMax:                  kMax,
 			Method:                e.opts.ClusterMethod,
+			Algorithm:             e.opts.PAMAlgorithm,
 			LargeThreshold:        e.opts.PAMThreshold,
 			MCSilhouetteThreshold: e.opts.PAMThreshold,
 			Rand:                  e.rng,

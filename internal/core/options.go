@@ -40,6 +40,11 @@ type Options struct {
 	Prep prep.Options
 	// ClusterMethod selects PAM / CLARA / auto (default auto).
 	ClusterMethod cluster.Method
+	// PAMAlgorithm selects the PAM SWAP implementation for map and theme
+	// clustering: the FasterPAM eager-swap loop (default) or the textbook
+	// Kaufman & Rousseeuw loop (cluster.AlgorithmClassic), kept for
+	// differential runs and benchmarking.
+	PAMAlgorithm cluster.Algorithm
 	// PAMThreshold is the sample size above which the auto method
 	// switches from exact PAM to CLARA, and silhouettes switch to the
 	// Monte-Carlo estimator (paper §3: "when the data is too large,
