@@ -1,0 +1,29 @@
+# Developer entry points; CI runs the same commands (see
+# .github/workflows/ci.yml).
+
+.PHONY: build test race bench bench-smoke bench-pam vet
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...
+
+# Full benchmark pass (minutes).
+bench:
+	go test -bench=. -benchmem -run '^$$' .
+
+# One iteration of every benchmark — the CI bit-rot guard.
+bench-smoke:
+	go test -bench=. -benchtime=1x -run '^$$' .
+
+# Regenerate BENCH_pam.json, the tracked PAM perf trajectory
+# (oracle strategies × seeding schemes).
+bench-pam:
+	go run ./cmd/blaeu-bench -pam-json BENCH_pam.json

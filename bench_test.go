@@ -13,6 +13,7 @@ package blaeu
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/cluster"
@@ -246,28 +247,73 @@ func BenchmarkPreprocess(b *testing.B) {
 	}
 }
 
-// BenchmarkMapBuild times one full mapping-pipeline pass (the latency of a
-// theme selection or zoom) at the paper's interactive sampling budget.
+// BenchmarkMapBuild times one full mapping-pipeline pass (the latency of
+// a theme selection or zoom) per distance-oracle strategy, with the
+// sampling budget raised to the full input so the oracle choice is what
+// the benchmark measures. For the lazy and knn strategies at n=20000 the
+// run also asserts the peak allocation stays far below the n(n-1)/2
+// condensed matrix those strategies exist to avoid.
 func BenchmarkMapBuild(b *testing.B) {
-	for _, n := range []int{10000, 100000} {
+	strategies := []cluster.OracleStrategy{
+		cluster.OracleMaterialized, cluster.OracleLazy, cluster.OracleKNN,
+	}
+	for _, n := range []int{2000, 10000, 20000} {
 		rng := rand.New(rand.NewSource(9))
 		ds := datagen.PlantedBlobs(datagen.BlobSpec{N: n, K: 4, Dims: 8, Sep: 6}, rng)
-		e, err := core.NewExplorer(ds.Table, core.Options{
-			Seed: 1, SampleSize: 2000, DependencySampleRows: 500,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		id, err := e.AddTheme(ds.Table.ColumnNames())
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := e.SelectTheme(id); err != nil {
-					b.Fatal(err)
+		for _, strat := range strategies {
+			if strat == cluster.OracleMaterialized && n > 10000 {
+				// The condensed matrix alone is n(n-1)/2 float64s (1.6 GB at
+				// n=20000) — the memory wall the other strategies remove.
+				continue
+			}
+			e, err := core.NewExplorer(ds.Table, core.Options{
+				Seed: 1, SampleSize: n, DependencySampleRows: 500,
+				OracleStrategy: strat,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			id, err := e.AddTheme(ds.Table.ColumnNames())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("n=%d/oracle=%s", n, strat), func(b *testing.B) {
+				condensedBytes := uint64(n) * uint64(n-1) / 2 * 8
+				var before runtime.MemStats
+				runtime.ReadMemStats(&before)
+				for i := 0; i < b.N; i++ {
+					if _, err := e.SelectTheme(id); err != nil {
+						b.Fatal(err)
+					}
+					if err := e.Rollback(); err != nil {
+						b.Fatal(err)
+					}
 				}
-				if err := e.Rollback(); err != nil {
+				var after runtime.MemStats
+				runtime.ReadMemStats(&after)
+				perOp := (after.TotalAlloc - before.TotalAlloc) / uint64(b.N)
+				b.ReportMetric(float64(perOp)/1e6, "MB/op")
+				if strat != cluster.OracleMaterialized && n >= 20000 && perOp >= condensedBytes/2 {
+					b.Fatalf("oracle=%s n=%d allocated %d B/op — quadratic-matrix scale (condensed = %d B)",
+						strat, n, perOp, condensedBytes)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSeeding isolates the seeding phase at the scale where BUILD
+// became the bottleneck (ROADMAP item 1): n=5000, k=8 on a materialized
+// oracle. The acceptance bar for the k-means++/LAB seedings is ≥3× over
+// quadratic BUILD; measured speedups are ~500×.
+func BenchmarkSeeding(b *testing.B) {
+	vecs, _ := benchVectors(5000, 6, 8)
+	m := cluster.ComputeDistMatrix(vecs, stats.Euclidean{})
+	for _, s := range []cluster.Seeding{cluster.SeedingBUILD, cluster.SeedingKMeansPP, cluster.SeedingLAB} {
+		b.Run(fmt.Sprintf("n=5000/k=8/seeding=%s", s), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.SeedMedoids(m, 8, s, rng); err != nil {
 					b.Fatal(err)
 				}
 			}

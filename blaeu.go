@@ -21,6 +21,13 @@
 // cluster.AlgorithmClassic to fall back to the reference Kaufman &
 // Rousseeuw loop, e.g. for differential runs (see the e5 experiment).
 //
+// Distances flow through a pluggable oracle layer: Options.OracleStrategy
+// picks a materialized matrix for small samples, a lazy on-demand oracle
+// for large ones (no O(n²) allocation, byte-identical clusterings) or a
+// sparse k-NN-graph oracle, and Options.Seeding swaps the quadratic BUILD
+// seeding for k-means++ D² sampling or LAB subsample BUILD (see the e6
+// experiment). This is what lets the sampling budget default to 5000.
+//
 // Quickstart:
 //
 //	table, _ := blaeu.ReadCSVFile("countries.csv", nil)
@@ -71,8 +78,9 @@ type (
 // CSVOptions controls CSV parsing (delimiter, null tokens).
 type CSVOptions = store.CSVOptions
 
-// DefaultOptions returns the engine defaults described in the paper
-// (sample budget 2000, map k in [2,6], description trees of depth 3).
+// DefaultOptions returns the engine defaults (sample budget 5000 — the
+// paper's "few thousand", raised by the lazy oracle layer — map k in
+// [2,6], description trees of depth 3).
 func DefaultOptions() Options { return core.DefaultOptions() }
 
 // Open starts an exploration session: it detects the table's themes and

@@ -8,6 +8,7 @@
 //	blaeu-bench -exp f1b            # one experiment
 //	blaeu-bench -exp all            # everything (minutes at scale 1)
 //	blaeu-bench -exp e2 -scale 0.2  # reduced scale
+//	blaeu-bench -pam-json BENCH_pam.json  # record the PAM perf matrix
 package main
 
 import (
@@ -25,7 +26,16 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper-shaped)")
 	verbose := flag.Bool("v", false, "include rendered maps in the output")
 	list := flag.Bool("list", false, "list experiments")
+	pamJSON := flag.String("pam-json", "", "write the PAM perf matrix (oracles × seedings) to this JSON file and exit")
 	flag.Parse()
+
+	if *pamJSON != "" {
+		if err := writePAMBench(*pamJSON, *seed, *scale); err != nil {
+			fmt.Fprintf(os.Stderr, "pam-json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")

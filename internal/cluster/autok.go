@@ -41,6 +41,9 @@ type AutoKOptions struct {
 	// (AlgorithmFasterPAM) or the textbook reference (AlgorithmClassic) —
 	// for both direct PAM runs and CLARA's per-sample runs.
 	Algorithm Algorithm
+	// Seeding selects how PAM picks its initial medoids (default
+	// SeedingAuto), for both direct runs and CLARA's per-sample runs.
+	Seeding Seeding
 	// LargeThreshold is the object count above which MethodAuto switches
 	// to CLARA (default 2000).
 	LargeThreshold int
@@ -84,9 +87,10 @@ func ClusterK(o Oracle, k int, opts AutoKOptions) (*Clustering, error) {
 		co := opts.CLARA
 		co.Rand = opts.Rand
 		co.Algorithm = opts.Algorithm
+		co.Seeding = opts.Seeding
 		return CLARA(o, k, co)
 	default:
-		return PAMWith(o, k, opts.Algorithm)
+		return PAMRun(o, k, PAMOptions{Algorithm: opts.Algorithm, Seeding: opts.Seeding, Rand: opts.Rand})
 	}
 }
 

@@ -21,6 +21,10 @@ type CLARAOptions struct {
 	// Algorithm selects the SWAP implementation of the per-sample PAM
 	// runs (default AlgorithmFasterPAM).
 	Algorithm Algorithm
+	// Seeding selects how the per-sample PAM runs pick their initial
+	// medoids (default SeedingAuto; samples are small, so auto stays on
+	// BUILD unless tuned otherwise).
+	Seeding Seeding
 	// Rand is the randomness source (required).
 	Rand *rand.Rand
 }
@@ -47,8 +51,7 @@ func CLARA(o Oracle, k int, opts CLARAOptions) (*Clustering, error) {
 	}
 	opts.defaults(k)
 	if n <= opts.SampleSize || n <= k {
-		c, err := PAMWith(o, k, opts.Algorithm)
-		return c, err
+		return PAMRun(o, k, PAMOptions{Algorithm: opts.Algorithm, Seeding: opts.Seeding, Rand: opts.Rand})
 	}
 
 	var best *Clustering
@@ -60,7 +63,7 @@ func CLARA(o Oracle, k int, opts CLARAOptions) (*Clustering, error) {
 			idx = mergeSorted(idx, best.Medoids)
 		}
 		sub := &SubsetOracle{Parent: o, Idx: idx}
-		c, err := PAMWith(sub, k, opts.Algorithm)
+		c, err := PAMRun(sub, k, PAMOptions{Algorithm: opts.Algorithm, Seeding: opts.Seeding, Rand: opts.Rand})
 		if err != nil {
 			return nil, err
 		}

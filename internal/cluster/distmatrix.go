@@ -1,9 +1,3 @@
-// Package cluster implements the cluster-analysis algorithms Blaeu relies
-// on: PAM (Partitioning Around Medoids), its sampling variant CLARA, the
-// silhouette coefficient (exact and Monte-Carlo), automatic selection of
-// the number of clusters, and a k-means baseline. PAM and CLARA follow
-// Kaufman & Rousseeuw, "Finding Groups in Data" (1990), the reference the
-// paper cites.
 package cluster
 
 import (
@@ -14,16 +8,6 @@ import (
 	"repro/internal/stats"
 )
 
-// Oracle answers pairwise-distance queries over n objects. PAM and the
-// silhouette computation are written against this interface so they work
-// identically on raw vectors, precomputed matrices, and dependency graphs.
-type Oracle interface {
-	// N returns the number of objects.
-	N() int
-	// Dist returns the dissimilarity between objects i and j.
-	Dist(i, j int) float64
-}
-
 // DistMatrix is a precomputed symmetric distance matrix stored in condensed
 // (upper-triangle) form: n*(n-1)/2 float64 entries.
 type DistMatrix struct {
@@ -31,8 +15,18 @@ type DistMatrix struct {
 	data []float64
 }
 
-// NewDistMatrix allocates an n×n condensed matrix of zeros.
+// NewDistMatrix allocates a zeroed condensed upper-triangle matrix of
+// n*(n-1)/2 entries (not n×n — the diagonal is implicit and the lower
+// triangle mirrored). Degenerate sizes (n < 2, reachable from one-row or
+// empty selections) yield a valid matrix with no stored pairs rather
+// than a zero-length-slice edge case.
 func NewDistMatrix(n int) *DistMatrix {
+	if n < 2 {
+		if n < 0 {
+			n = 0
+		}
+		return &DistMatrix{n: n, data: []float64{}}
+	}
 	return &DistMatrix{n: n, data: make([]float64, n*(n-1)/2)}
 }
 
@@ -102,17 +96,6 @@ func (m *DistMatrix) Set(i, j int, v float64) {
 	m.data[m.idx(i, j)] = v
 }
 
-// RowOracle is an Oracle that can materialize a full row of distances in
-// one call. Hot loops (PAM's BUILD scoring, FasterPAM's candidate
-// evaluation) scan an entire row per step; materializing it replaces n
-// interface calls and index computations with one sequential pass over
-// the condensed storage.
-type RowOracle interface {
-	Oracle
-	// RowInto fills dst[j] = Dist(i, j) for all j; dst must have length N().
-	RowInto(i int, dst []float64)
-}
-
 // RowInto implements RowOracle. For j < i the condensed layout strides
 // across rows (the offset advances by n-j-2, a stride that shrinks as j
 // grows); for j > i the row is one contiguous block.
@@ -122,43 +105,11 @@ func (m *DistMatrix) RowInto(i int, dst []float64) {
 		dst[j] = m.data[off]
 		off += m.n - j - 2
 	}
-	dst[i] = 0
+	if i < m.n {
+		dst[i] = 0
+	}
 	if i+1 < m.n {
 		base := m.idx(i, i+1)
 		copy(dst[i+1:], m.data[base:base+m.n-i-1])
 	}
-}
-
-// VectorOracle computes distances between vectors on demand, without
-// materializing the O(n²) matrix; used by CLARA's full-data assignment
-// pass and by Monte-Carlo silhouettes on large selections.
-type VectorOracle struct {
-	Vecs   [][]float64
-	Metric stats.Distance
-}
-
-// N implements Oracle.
-func (o *VectorOracle) N() int { return len(o.Vecs) }
-
-// Dist implements Oracle.
-func (o *VectorOracle) Dist(i, j int) float64 {
-	if i == j {
-		return 0
-	}
-	return o.Metric.Dist(o.Vecs[i], o.Vecs[j])
-}
-
-// SubsetOracle exposes a subset of another oracle's objects, re-indexed
-// densely. Idx maps local index -> parent index.
-type SubsetOracle struct {
-	Parent Oracle
-	Idx    []int
-}
-
-// N implements Oracle.
-func (o *SubsetOracle) N() int { return len(o.Idx) }
-
-// Dist implements Oracle.
-func (o *SubsetOracle) Dist(i, j int) float64 {
-	return o.Parent.Dist(o.Idx[i], o.Idx[j])
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -21,12 +22,24 @@ const (
 	AlgorithmClassic
 )
 
-// String names the algorithm.
+// String names the algorithm (the wire format of the server API).
 func (a Algorithm) String() string {
 	if a == AlgorithmClassic {
 		return "classic"
 	}
 	return "fasterpam"
+}
+
+// ParseAlgorithm parses the wire name of a SWAP algorithm; the empty
+// string means AlgorithmFasterPAM (the default).
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "", "fasterpam":
+		return AlgorithmFasterPAM, nil
+	case "classic":
+		return AlgorithmClassic, nil
+	}
+	return AlgorithmFasterPAM, fmt.Errorf("cluster: unknown PAM algorithm %q (want fasterpam or classic)", s)
 }
 
 // swapBlock is the number of candidates evaluated per parallel batch of
@@ -386,19 +399,27 @@ func (s *swapState) applySwap(slot, c int, row []float64) {
 // waiting for the full pass to finish, unlike the classic steepest-descent
 // loop). Converges when a complete pass yields no improving swap, i.e. at
 // a local optimum of exactly the same swap neighborhood classic PAM uses.
+// Use PAMRun to select a different seeding scheme.
 func FasterPAM(o Oracle, k int) (*Clustering, error) {
 	if c, err := checkPAMArgs(o, k); c != nil || err != nil {
 		return c, err
 	}
-	n := o.N()
-	medoids := pamBuild(o, k)
-
 	if k == 1 {
 		// BUILD's first medoid is already the global optimum for k=1 (it
 		// minimizes the total distance), so SWAP has nothing to do.
+		medoids := pamBuild(o, 1)
 		labels, cost := AssignToMedoids(o, medoids)
 		return &Clustering{K: 1, Labels: labels, Medoids: medoids, Cost: cost, Silhouette: math.NaN()}, nil
 	}
+	return fasterPAMFrom(o, k, pamBuild(o, k))
+}
+
+// fasterPAMFrom runs the eager removal-loss SWAP phase from the given
+// seed medoids (which it copies, not mutates). Preconditions (1 < k < n)
+// are the caller's responsibility.
+func fasterPAMFrom(o Oracle, k int, seeds []int) (*Clustering, error) {
+	n := o.N()
+	medoids := append([]int(nil), seeds...)
 
 	s := newSwapState(o, medoids)
 	type verdict struct {

@@ -1,0 +1,278 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/prep"
+	"repro/internal/stats"
+)
+
+// e5Datasets are the planted-blob configurations of the e5 experiment —
+// the golden inputs the SWAP-engine comparison runs on, reused here to
+// pin the oracle layer against the same workloads.
+func e5Datasets(t *testing.T) []struct {
+	n, k int
+	vecs [][]float64
+} {
+	t.Helper()
+	var out []struct {
+		n, k int
+		vecs [][]float64
+	}
+	for _, sz := range []struct{ n, k int }{{500, 4}, {1000, 8}, {2000, 8}, {4000, 8}} {
+		rng := rand.New(rand.NewSource(1 + int64(sz.n)))
+		ds := datagen.PlantedBlobs(datagen.BlobSpec{N: sz.n, K: sz.k, Dims: 6, Sep: 6}, rng)
+		_, vecs, err := prep.FitTransform(ds.Table, nil, prep.NewOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, struct {
+			n, k int
+			vecs [][]float64
+		}{sz.n, sz.k, vecs})
+	}
+	return out
+}
+
+// TestLazyOracleMatchesDistMatrix is the pinned-seed differential test of
+// the lazy oracle: FasterPAM (and the randomized seedings, fed identical
+// rand streams) must produce byte-identical clusterings whether distances
+// come from the materialized matrix or are computed on demand.
+func TestLazyOracleMatchesDistMatrix(t *testing.T) {
+	for _, g := range e5Datasets(t) {
+		matrix := ComputeDistMatrix(g.vecs, stats.Euclidean{})
+		lazy := NewLazyOracle(g.vecs, stats.Euclidean{})
+
+		cm, err := FasterPAM(matrix, g.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := FasterPAM(lazy, g.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdenticalClustering(t, "fasterpam/build", g.n, cm, cl)
+
+		pm, err := PAMRun(matrix, g.k, PAMOptions{Seeding: SeedingKMeansPP, Rand: rand.New(rand.NewSource(42))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := PAMRun(lazy, g.k, PAMOptions{Seeding: SeedingKMeansPP, Rand: rand.New(rand.NewSource(42))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdenticalClustering(t, "fasterpam/kmeans++", g.n, pm, pl)
+	}
+}
+
+func assertIdenticalClustering(t *testing.T, label string, n int, a, b *Clustering) {
+	t.Helper()
+	if a.Cost != b.Cost {
+		t.Fatalf("%s n=%d: cost %v != %v", label, n, a.Cost, b.Cost)
+	}
+	if a.K != b.K {
+		t.Fatalf("%s n=%d: K %d != %d", label, n, a.K, b.K)
+	}
+	for i := range a.Medoids {
+		if a.Medoids[i] != b.Medoids[i] {
+			t.Fatalf("%s n=%d: medoid %d differs (%d vs %d)", label, n, i, a.Medoids[i], b.Medoids[i])
+		}
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatalf("%s n=%d: label %d differs (%d vs %d)", label, n, i, a.Labels[i], b.Labels[i])
+		}
+	}
+}
+
+// TestLazyOracleRowsExact pins RowInto and Dist of the lazy oracle to the
+// materialized matrix, including repeated calls that hit the memo.
+func TestLazyOracleRowsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vecs := make([][]float64, 300)
+	for i := range vecs {
+		vecs[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	matrix := ComputeDistMatrix(vecs, stats.Euclidean{})
+	lazy := NewLazyOracle(vecs, stats.Euclidean{})
+	want := make([]float64, len(vecs))
+	got := make([]float64, len(vecs))
+	for pass := 0; pass < 2; pass++ { // second pass reads the memo
+		for i := 0; i < len(vecs); i += 7 {
+			matrix.RowInto(i, want)
+			lazy.RowInto(i, got)
+			for j := range want {
+				if want[j] != got[j] {
+					t.Fatalf("pass %d row %d col %d: %v != %v", pass, i, j, got[j], want[j])
+				}
+				if d := lazy.Dist(i, j); d != want[j] {
+					t.Fatalf("Dist(%d,%d) = %v, want %v", i, j, d, want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestLazyOracleCacheBounded asserts the row memo never exceeds its cap —
+// the whole point of the lazy oracle is that memory stays O(n), not
+// O(n²), no matter how many rows the SWAP loop touches.
+func TestLazyOracleCacheBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	vecs := make([][]float64, 2*lazyCacheRows)
+	for i := range vecs {
+		vecs[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	lazy := NewLazyOracle(vecs, stats.Euclidean{})
+	dst := make([]float64, len(vecs))
+	for i := range vecs {
+		lazy.RowInto(i, dst)
+	}
+	if got := lazy.cachedRows(); got > lazyCacheRows {
+		t.Fatalf("memo holds %d rows, cap is %d", got, lazyCacheRows)
+	}
+}
+
+// TestKNNOracleBounds verifies the two contractual properties of the
+// k-NN oracle: neighborhood queries are exact, and far-pair answers never
+// underestimate the true distance (they are pivot-routed upper bounds).
+func TestKNNOracleBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	vecs := make([][]float64, 400)
+	for i := range vecs {
+		vecs[i] = []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3, rng.NormFloat64()}
+	}
+	metric := stats.Euclidean{}
+	knn := NewKNNOracle(vecs, metric, KNNOracleOptions{K: 20, Pivots: 8})
+	row := make([]float64, len(vecs))
+	for i := range vecs {
+		knn.RowInto(i, row)
+		for j := range vecs {
+			truth := metric.Dist(vecs[i], vecs[j])
+			got := knn.Dist(i, j)
+			if got != row[j] {
+				t.Fatalf("RowInto(%d)[%d] = %v, Dist = %v", i, j, row[j], got)
+			}
+			if i == j {
+				if got != 0 {
+					t.Fatalf("Dist(%d,%d) = %v, want 0", i, j, got)
+				}
+				continue
+			}
+			if got < truth-1e-9 {
+				t.Fatalf("Dist(%d,%d) = %v underestimates true %v", i, j, got, truth)
+			}
+			if containsID(knn.adjIdx[i], int32(j)) && math.Abs(got-truth) > 1e-12 {
+				t.Fatalf("neighbor pair (%d,%d): %v != exact %v", i, j, got, truth)
+			}
+		}
+	}
+	// Symmetry of the answers.
+	for trial := 0; trial < 2000; trial++ {
+		i, j := rng.Intn(len(vecs)), rng.Intn(len(vecs))
+		if knn.Dist(i, j) != knn.Dist(j, i) {
+			t.Fatalf("asymmetric answer for (%d,%d)", i, j)
+		}
+	}
+}
+
+// TestKNNOracleCostInflation is the golden bound of the sparse oracle:
+// on the e5 datasets, clustering over the k-NN graph must cost (measured
+// exactly, on the true metric) within 2% of clustering over the exact
+// matrix.
+func TestKNNOracleCostInflation(t *testing.T) {
+	for _, g := range e5Datasets(t) {
+		exact := ComputeDistMatrix(g.vecs, stats.Euclidean{})
+		knn := NewKNNOracle(g.vecs, stats.Euclidean{}, KNNOracleOptions{})
+
+		ce, err := FasterPAM(exact, g.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck, err := FasterPAM(knn, g.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, trueCost := AssignToMedoids(exact, ck.Medoids)
+		if ratio := trueCost / ce.Cost; ratio > 1.02 {
+			t.Errorf("n=%d k=%d: knn cost inflation %.5f exceeds 1.02 (exact %.4f, knn %.4f)",
+				g.n, g.k, ratio, ce.Cost, trueCost)
+		}
+	}
+}
+
+// TestNewDistMatrixDegenerate covers the n < 2 guard: degenerate
+// selections must get a valid empty matrix, not a zero-length-slice edge
+// case.
+func TestNewDistMatrixDegenerate(t *testing.T) {
+	for _, n := range []int{-1, 0, 1} {
+		m := NewDistMatrix(n)
+		wantN := n
+		if wantN < 0 {
+			wantN = 0
+		}
+		if m.N() != wantN {
+			t.Errorf("NewDistMatrix(%d).N() = %d, want %d", n, m.N(), wantN)
+		}
+		if m.data == nil {
+			t.Errorf("NewDistMatrix(%d): nil storage", n)
+		}
+	}
+	m := NewDistMatrix(1)
+	if d := m.Dist(0, 0); d != 0 {
+		t.Errorf("Dist(0,0) = %v on 1-object matrix", d)
+	}
+	dst := make([]float64, 1)
+	m.RowInto(0, dst)
+	if dst[0] != 0 {
+		t.Errorf("RowInto on 1-object matrix = %v", dst)
+	}
+}
+
+// TestOracleStrategyParseRoundTrip pins the wire names.
+func TestOracleStrategyParseRoundTrip(t *testing.T) {
+	for _, s := range []OracleStrategy{OracleAuto, OracleMaterialized, OracleLazy, OracleKNN} {
+		got, err := ParseOracleStrategy(s.String())
+		if err != nil || got != s {
+			t.Errorf("round trip %v: got %v, err %v", s, got, err)
+		}
+	}
+	if got, err := ParseOracleStrategy(""); err != nil || got != OracleAuto {
+		t.Errorf("empty string: %v, %v", got, err)
+	}
+	if _, err := ParseOracleStrategy("quantum"); err == nil {
+		t.Error("bad strategy accepted")
+	}
+}
+
+// TestBuildOracleSelectsImplementation checks the auto threshold and the
+// explicit strategies.
+func TestBuildOracleSelectsImplementation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	small := make([][]float64, 50)
+	for i := range small {
+		small[i] = []float64{rng.Float64()}
+	}
+	metric := stats.Euclidean{}
+	if _, ok := BuildOracle(small, metric, OracleAuto, 100, KNNOracleOptions{}).(*DistMatrix); !ok {
+		t.Error("auto below threshold should materialize")
+	}
+	if _, ok := BuildOracle(small, metric, OracleAuto, 10, KNNOracleOptions{}).(*LazyOracle); !ok {
+		t.Error("auto above threshold should go lazy")
+	}
+	if _, ok := BuildOracle(small, metric, OracleMaterialized, 10, KNNOracleOptions{}).(*DistMatrix); !ok {
+		t.Error("matrix strategy ignored")
+	}
+	if _, ok := BuildOracle(small, metric, OracleLazy, 0, KNNOracleOptions{}).(*LazyOracle); !ok {
+		t.Error("lazy strategy ignored")
+	}
+	knn, ok := BuildOracle(small, metric, OracleKNN, 0, KNNOracleOptions{K: 5, Pivots: 3}).(*KNNOracle)
+	if !ok {
+		t.Fatal("knn strategy ignored")
+	}
+	if len(knn.pivotD) != 3 {
+		t.Errorf("knn options not threaded: %d pivots, want 3", len(knn.pivotD))
+	}
+}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"math/rand"
 )
 
 // Clustering is the result of a partitional clustering run.
@@ -86,6 +87,40 @@ func PAMWith(o Oracle, k int, algo Algorithm) (*Clustering, error) {
 	return FasterPAM(o, k)
 }
 
+// PAMOptions configures a PAM run beyond the oracle and k.
+type PAMOptions struct {
+	// Algorithm selects the SWAP implementation (default AlgorithmFasterPAM).
+	Algorithm Algorithm
+	// Seeding selects how the initial medoids are picked (default
+	// SeedingAuto: BUILD on small inputs, k-means++ on large ones when a
+	// random source is available).
+	Seeding Seeding
+	// Rand is the randomness source required by the k-means++ and LAB
+	// seedings; BUILD ignores it.
+	Rand *rand.Rand
+}
+
+// PAMRun runs PAM with explicit seeding and SWAP options — the full
+// entry point behind PAM/PAMWith/FasterPAM/PAMClassic. For k == 1 the
+// seeding option is moot (BUILD's first medoid is the exact optimum and
+// SWAP has nothing to refine), so the run short-circuits to it.
+func PAMRun(o Oracle, k int, opts PAMOptions) (*Clustering, error) {
+	if c, err := checkPAMArgs(o, k); c != nil || err != nil {
+		return c, err
+	}
+	if k == 1 {
+		return PAMWith(o, 1, opts.Algorithm)
+	}
+	seeds, err := SeedMedoids(o, k, opts.Seeding, opts.Rand)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Algorithm == AlgorithmClassic {
+		return pamClassicFrom(o, k, seeds)
+	}
+	return fasterPAMFrom(o, k, seeds)
+}
+
 // PAMClassic is the textbook PAM of Kaufman & Rousseeuw (1990): a BUILD
 // phase greedily seeds k medoids, then a SWAP phase repeatedly exchanges
 // the single best (medoid, candidate) pair whenever that lowers the total
@@ -96,9 +131,16 @@ func PAMClassic(o Oracle, k int) (*Clustering, error) {
 	if c, err := checkPAMArgs(o, k); c != nil || err != nil {
 		return c, err
 	}
+	return pamClassicFrom(o, k, pamBuild(o, k))
+}
+
+// pamClassicFrom runs the textbook SWAP loop from the given seed medoids
+// (which it copies, not mutates). Preconditions (1 <= k < n) are the
+// caller's responsibility.
+func pamClassicFrom(o Oracle, k int, seeds []int) (*Clustering, error) {
 	n := o.N()
 
-	medoids := pamBuild(o, k)
+	medoids := append([]int(nil), seeds...)
 	// nearest[i] = distance to closest medoid, second[i] = to 2nd closest.
 	nearest := make([]float64, n)
 	second := make([]float64, n)

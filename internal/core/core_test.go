@@ -123,6 +123,77 @@ func TestExplorerOptionsReportsEffectiveDefaults(t *testing.T) {
 	if e2.Options().PAMAlgorithm != cluster.AlgorithmClassic {
 		t.Error("explicit PAMAlgorithm not reported back")
 	}
+	if got.OracleStrategy != cluster.OracleAuto || got.Seeding != cluster.SeedingAuto {
+		t.Errorf("default strategy/seeding = %v/%v, want auto/auto", got.OracleStrategy, got.Seeding)
+	}
+	if got.OracleThreshold != cluster.DefaultMaterializeThreshold {
+		t.Errorf("OracleThreshold default = %d", got.OracleThreshold)
+	}
+}
+
+// TestLazyStrategyMatchesMaterializedMaps is the end-to-end differential
+// of the oracle layer: two explorers over the same table and seed, one
+// forced onto the materialized matrix and one onto the lazy oracle, must
+// build byte-identical maps (same k, silhouette, tree and region counts)
+// — the lazy oracle changes memory behavior, never results.
+func TestLazyStrategyMatchesMaterializedMaps(t *testing.T) {
+	tab, _, _ := laborTable(900, 3)
+	build := func(strategy cluster.OracleStrategy) *Map {
+		e, err := NewExplorer(tab, Options{Seed: 7, OracleStrategy: strategy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := e.SelectTheme(findThemeWith(e, "WorkingLongHours"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	mat := build(cluster.OracleMaterialized)
+	lazy := build(cluster.OracleLazy)
+	if mat.K != lazy.K || mat.Silhouette != lazy.Silhouette || mat.TreeAccuracy != lazy.TreeAccuracy {
+		t.Fatalf("maps diverge: matrix k=%d sil=%v acc=%v, lazy k=%d sil=%v acc=%v",
+			mat.K, mat.Silhouette, mat.TreeAccuracy, lazy.K, lazy.Silhouette, lazy.TreeAccuracy)
+	}
+	ml, ll := mat.Root.Leaves(), lazy.Root.Leaves()
+	if len(ml) != len(ll) {
+		t.Fatalf("leaf counts diverge: %d vs %d", len(ml), len(ll))
+	}
+	for i := range ml {
+		if ml[i].Count() != ll[i].Count() || ml[i].ClusterID != ll[i].ClusterID {
+			t.Fatalf("leaf %d diverges: %d/%d vs %d/%d", i,
+				ml[i].Count(), ml[i].ClusterID, ll[i].Count(), ll[i].ClusterID)
+		}
+	}
+}
+
+// TestKNNStrategyBuildsUsableMaps: the sparse oracle must recover the
+// planted structure when clusters are on the scale of its neighborhoods
+// (its intended regime — see the KNNOracle doc on model-selection bias
+// when clusters dwarf the neighborhood size).
+func TestKNNStrategyBuildsUsableMaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := datagen.PlantedBlobs(datagen.BlobSpec{N: 1600, K: 8, Dims: 6, Sep: 8}, rng)
+	e, err := NewExplorer(ds.Table, Options{
+		Seed: 2, OracleStrategy: cluster.OracleKNN, DependencySampleRows: 400, MapKMax: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := e.AddTheme(ds.Table.ColumnNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.SelectTheme(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K != 8 {
+		t.Errorf("knn map k = %d, want 8 (planted)", m.K)
+	}
+	if m.Silhouette < 0.5 {
+		t.Errorf("knn map silhouette = %v, want strong separation", m.Silhouette)
+	}
 }
 
 func findThemeWith(e *Explorer, col string) int {

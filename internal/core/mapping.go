@@ -88,6 +88,7 @@ func (e *Explorer) buildMap(rows []int, theme Theme) (*Map, error) {
 			KMax:                  kMax,
 			Method:                e.opts.ClusterMethod,
 			Algorithm:             e.opts.PAMAlgorithm,
+			Seeding:               e.opts.Seeding,
 			LargeThreshold:        e.opts.PAMThreshold,
 			MCSilhouetteThreshold: e.opts.PAMThreshold,
 			Rand:                  e.rng,
@@ -125,14 +126,12 @@ func (e *Explorer) buildMap(rows []int, theme Theme) (*Map, error) {
 	return m, nil
 }
 
-// oracleFor picks a distance oracle: precomputed matrix for small samples
-// (fast repeated access by PAM), on-demand for large ones.
+// oracleFor builds the distance oracle for a prepared sample under the
+// engine's OracleStrategy: auto materializes a matrix for small samples
+// (fast repeated access by PAM) and goes lazy above OracleThreshold;
+// explicit strategies (matrix, lazy, knn) override the size heuristic.
 func (e *Explorer) oracleFor(vecs [][]float64) cluster.Oracle {
-	metric := e.metric
-	if len(vecs) <= 2048 {
-		return cluster.ComputeDistMatrix(vecs, metric)
-	}
-	return &cluster.VectorOracle{Vecs: vecs, Metric: metric}
+	return cluster.BuildOracle(vecs, e.metric, e.opts.OracleStrategy, e.opts.OracleThreshold, e.opts.KNN)
 }
 
 // regionsFromTree mirrors the fitted description tree over the full

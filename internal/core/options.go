@@ -4,6 +4,14 @@
 // theme (hierarchical, interpretable clusters of the current selection),
 // and exposes the four navigational actions: zoom, highlight, project and
 // rollback (paper §2–3).
+//
+// Map construction runs on a pluggable distance layer: Options.
+// OracleStrategy selects between a materialized distance matrix, a lazy
+// on-demand oracle and a sparse k-NN-graph oracle (see internal/cluster),
+// and Options.Seeding selects how PAM picks initial medoids. The defaults
+// (auto/auto) materialize below cluster.DefaultMaterializeThreshold
+// objects and go lazy above it, which is what lets the sampling budget
+// default to 5000 tuples without quadratic memory.
 package core
 
 import (
@@ -19,7 +27,9 @@ type Options struct {
 	Seed int64
 	// SampleSize is the multi-scale sampling budget: after each action
 	// Blaeu clusters at most this many tuples (paper §3: "After each
-	// zoom, Blaeu only takes a few thousand samples"). Default 2000.
+	// zoom, Blaeu only takes a few thousand samples"). Default 5000 —
+	// raised from the paper-era 2000 now that the oracle layer no longer
+	// materializes the O(n²) distance matrix above OracleThreshold.
 	SampleSize int
 	// ThemeKMin / ThemeKMax bound the number of themes tried during
 	// vertical clustering (defaults 2 and 8, capped by column count).
@@ -45,6 +55,24 @@ type Options struct {
 	// Kaufman & Rousseeuw loop (cluster.AlgorithmClassic), kept for
 	// differential runs and benchmarking.
 	PAMAlgorithm cluster.Algorithm
+	// OracleStrategy selects the distance-oracle implementation maps are
+	// clustered over (default cluster.OracleAuto: a materialized matrix
+	// up to OracleThreshold objects, a lazy on-demand oracle above it;
+	// cluster.OracleKNN opts into the k-NN-graph oracle).
+	OracleStrategy cluster.OracleStrategy
+	// OracleThreshold is the sample size above which OracleAuto stops
+	// materializing the condensed distance matrix (default
+	// cluster.DefaultMaterializeThreshold).
+	OracleThreshold int
+	// KNN tunes the k-NN graph when OracleStrategy is cluster.OracleKNN
+	// (zero values pick the oracle's defaults). Sizing KNN.K on the
+	// order of the expected cluster size avoids the model-selection bias
+	// documented on cluster.KNNOracle.
+	KNN cluster.KNNOracleOptions
+	// Seeding selects how PAM picks its initial medoids (default
+	// cluster.SeedingAuto: quadratic BUILD on small samples, k-means++
+	// D² sampling on large ones).
+	Seeding cluster.Seeding
 	// PAMThreshold is the sample size above which the auto method
 	// switches from exact PAM to CLARA, and silhouettes switch to the
 	// Monte-Carlo estimator (paper §3: "when the data is too large,
@@ -57,16 +85,17 @@ type Options struct {
 // DefaultOptions returns the engine defaults described in the paper.
 func DefaultOptions() Options {
 	return Options{
-		SampleSize:   2000,
-		ThemeKMin:    2,
-		ThemeKMax:    8,
-		MapKMin:      2,
-		MapKMax:      6,
-		TreeMaxDepth: 3,
-		TreeMinLeaf:  8,
-		Prep:         prep.NewOptions(),
-		PAMThreshold: 1024,
-		MaxHistory:   64,
+		SampleSize:      5000,
+		ThemeKMin:       2,
+		ThemeKMax:       8,
+		MapKMin:         2,
+		MapKMax:         6,
+		TreeMaxDepth:    3,
+		TreeMinLeaf:     8,
+		Prep:            prep.NewOptions(),
+		PAMThreshold:    1024,
+		OracleThreshold: cluster.DefaultMaterializeThreshold,
+		MaxHistory:      64,
 	}
 }
 
@@ -101,6 +130,9 @@ func (o *Options) defaults() {
 	}
 	if o.PAMThreshold <= 0 {
 		o.PAMThreshold = d.PAMThreshold
+	}
+	if o.OracleThreshold <= 0 {
+		o.OracleThreshold = d.OracleThreshold
 	}
 	if o.MaxHistory <= 0 {
 		o.MaxHistory = d.MaxHistory

@@ -56,7 +56,7 @@ func TestRunUnknown(t *testing.T) {
 }
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"a1", "a2", "a3", "a4", "e1", "e2", "e3", "e4", "e5", "f1a", "f1b", "f1c", "f1d", "f2", "f3", "f4", "s1", "s2", "s3"}
+	want := []string{"a1", "a2", "a3", "a4", "e1", "e2", "e3", "e4", "e5", "e6", "f1a", "f1b", "f1c", "f1d", "f2", "f3", "f4", "s1", "s2", "s3"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("ids = %v, want %v", got, want)

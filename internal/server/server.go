@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/render"
 	"repro/internal/session"
@@ -91,14 +92,51 @@ type mapJSON struct {
 }
 
 type stateJSON struct {
-	SessionID string      `json:"sessionId"`
-	Rows      int         `json:"rows"`
-	Query     string      `json:"query"`
-	Action    string      `json:"action"`
-	Detail    string      `json:"detail"`
-	Themes    []themeJSON `json:"themes"`
-	Map       *mapJSON    `json:"map,omitempty"`
-	Depth     int         `json:"historyDepth"`
+	SessionID string                `json:"sessionId"`
+	Rows      int                   `json:"rows"`
+	Query     string                `json:"query"`
+	Action    string                `json:"action"`
+	Detail    string                `json:"detail"`
+	Themes    []themeJSON           `json:"themes"`
+	Map       *mapJSON              `json:"map,omitempty"`
+	Depth     int                   `json:"historyDepth"`
+	Cluster   session.ClusterConfig `json:"cluster"`
+}
+
+// clusterOptionsJSON is the optional clustering block of the open
+// request: per-session overrides of the server-wide engine options, so
+// remote clients can request differential classic-vs-FasterPAM-vs-sparse
+// runs. Empty fields keep the server defaults.
+type clusterOptionsJSON struct {
+	Algorithm string `json:"algorithm"`
+	Oracle    string `json:"oracle"`
+	Seeding   string `json:"seeding"`
+}
+
+// apply validates the overrides and writes them into opts.
+func (c *clusterOptionsJSON) apply(opts *core.Options) error {
+	algo, err := cluster.ParseAlgorithm(c.Algorithm)
+	if err != nil {
+		return err
+	}
+	oracle, err := cluster.ParseOracleStrategy(c.Oracle)
+	if err != nil {
+		return err
+	}
+	seeding, err := cluster.ParseSeeding(c.Seeding)
+	if err != nil {
+		return err
+	}
+	if c.Algorithm != "" {
+		opts.PAMAlgorithm = algo
+	}
+	if c.Oracle != "" {
+		opts.OracleStrategy = oracle
+	}
+	if c.Seeding != "" {
+		opts.Seeding = seeding
+	}
+	return nil
 }
 
 func themeToJSON(t core.Theme) themeJSON {
@@ -152,6 +190,7 @@ func (s *Server) stateJSON(sess *session.Session) stateJSON {
 			Detail:    st.Detail,
 			Map:       mapToJSON(st.Map),
 			Depth:     len(e.History()),
+			Cluster:   session.DescribeCluster(e.Options()),
 		}
 		for _, t := range e.Themes() {
 			out.Themes = append(out.Themes, themeToJSON(t))
@@ -188,7 +227,8 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 	var req struct {
-		Dataset string `json:"dataset"`
+		Dataset string              `json:"dataset"`
+		Options *clusterOptionsJSON `json:"options"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
@@ -199,7 +239,14 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("no dataset %q", req.Dataset))
 		return
 	}
-	sess, err := s.manager.Open(t, s.opts)
+	opts := s.opts
+	if req.Options != nil {
+		if err := req.Options.apply(&opts); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	sess, err := s.manager.Open(t, opts)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return

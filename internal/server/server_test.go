@@ -366,11 +366,86 @@ func TestExportEndpoint(t *testing.T) {
 	}
 }
 
+// TestOpenClusterOptions is the table-driven contract of the open
+// request's options block: valid algorithm/oracle/seeding names create a
+// session whose state echoes the chosen strategies, bad values are
+// rejected with 400 before any session is created.
+func TestOpenClusterOptions(t *testing.T) {
+	cases := []struct {
+		name       string
+		options    map[string]string
+		wantStatus int
+		wantEcho   map[string]string // subset of the echoed cluster block
+	}{
+		{"defaults", nil, http.StatusCreated,
+			map[string]string{"algorithm": "fasterpam", "oracle": "auto", "seeding": "auto"}},
+		{"classic", map[string]string{"algorithm": "classic"}, http.StatusCreated,
+			map[string]string{"algorithm": "classic"}},
+		{"lazy oracle", map[string]string{"oracle": "lazy"}, http.StatusCreated,
+			map[string]string{"oracle": "lazy"}},
+		{"knn oracle", map[string]string{"oracle": "knn"}, http.StatusCreated,
+			map[string]string{"oracle": "knn"}},
+		{"kmeans++ seeding", map[string]string{"seeding": "kmeans++"}, http.StatusCreated,
+			map[string]string{"seeding": "kmeans++"}},
+		{"all three", map[string]string{"algorithm": "classic", "oracle": "matrix", "seeding": "lab"}, http.StatusCreated,
+			map[string]string{"algorithm": "classic", "oracle": "matrix", "seeding": "lab"}},
+		{"bad algorithm", map[string]string{"algorithm": "pam2000"}, http.StatusBadRequest, nil},
+		{"bad oracle", map[string]string{"oracle": "quantum"}, http.StatusBadRequest, nil},
+		{"bad seeding", map[string]string{"seeding": "astrology"}, http.StatusBadRequest, nil},
+		{"bad alongside good", map[string]string{"algorithm": "classic", "oracle": "nope"}, http.StatusBadRequest, nil},
+	}
+	ts := testServer(t)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body := map[string]any{"dataset": "blobs"}
+			if tc.options != nil {
+				body["options"] = tc.options
+			}
+			st := doJSON(t, "POST", ts.URL+"/api/sessions", body, tc.wantStatus)
+			if tc.wantStatus != http.StatusCreated {
+				if msg, ok := st["error"].(string); !ok || msg == "" {
+					t.Errorf("error response has no message: %v", st)
+				}
+				return
+			}
+			echo, _ := st["cluster"].(map[string]any)
+			if echo == nil {
+				t.Fatalf("no cluster block in state: %v", st)
+			}
+			for key, want := range tc.wantEcho {
+				if echo[key] != want {
+					t.Errorf("cluster.%s = %v, want %q", key, echo[key], want)
+				}
+			}
+		})
+	}
+}
+
+// TestOpenClusterOptionsDrivesClustering: a session opened with explicit
+// strategies must still navigate end to end (the options actually reach
+// the mapping pipeline).
+func TestOpenClusterOptionsDrivesClustering(t *testing.T) {
+	ts := testServer(t)
+	st := doJSON(t, "POST", ts.URL+"/api/sessions", map[string]any{
+		"dataset": "blobs",
+		"options": map[string]string{"algorithm": "classic", "oracle": "lazy", "seeding": "lab"},
+	}, http.StatusCreated)
+	id, _ := st["sessionId"].(string)
+	st = doJSON(t, "POST", ts.URL+"/api/sessions/"+id+"/select", map[string]int{"theme": 0}, http.StatusOK)
+	if mp, _ := st["map"].(map[string]any); mp == nil || int(mp["k"].(float64)) < 2 {
+		t.Fatalf("no usable map under explicit cluster options: %v", st["map"])
+	}
+	echo, _ := st["cluster"].(map[string]any)
+	if echo["oracle"] != "lazy" || echo["algorithm"] != "classic" || echo["seeding"] != "lab" {
+		t.Errorf("cluster block not echoed after actions: %v", echo)
+	}
+}
+
 func TestStateEndpointShape(t *testing.T) {
 	ts := testServer(t)
 	id, _ := openSession(t, ts, "blobs")
 	st := doJSON(t, "GET", ts.URL+"/api/sessions/"+id, nil, http.StatusOK)
-	for _, key := range []string{"sessionId", "rows", "query", "action", "themes", "historyDepth"} {
+	for _, key := range []string{"sessionId", "rows", "query", "action", "themes", "historyDepth", "cluster"} {
 		if _, ok := st[key]; !ok {
 			t.Errorf("state missing %q: %v", key, st)
 		}

@@ -35,6 +35,29 @@ func (s *Session) Do(f func(e *core.Explorer) error) error {
 	return f(s.Explorer)
 }
 
+// ClusterConfig names the clustering configuration a session runs with —
+// the PAM SWAP algorithm, the distance-oracle strategy and the seeding
+// scheme. Remote clients set these in the open request and the server
+// echoes them back in every state response, so differential
+// (classic-vs-FasterPAM-vs-sparse) runs can be requested and audited
+// over the wire.
+type ClusterConfig struct {
+	Algorithm string `json:"algorithm"`
+	Oracle    string `json:"oracle"`
+	Seeding   string `json:"seeding"`
+}
+
+// DescribeCluster renders the clustering knobs of effective engine
+// options in their wire form. Callers already inside a Session.Do pass
+// e.Options() directly (the session mutex is not reentrant).
+func DescribeCluster(o core.Options) ClusterConfig {
+	return ClusterConfig{
+		Algorithm: o.PAMAlgorithm.String(),
+		Oracle:    o.OracleStrategy.String(),
+		Seeding:   o.Seeding.String(),
+	}
+}
+
 // Manager is a registry of sessions.
 type Manager struct {
 	mu       sync.Mutex

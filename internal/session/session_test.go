@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/store"
@@ -143,5 +144,40 @@ func TestConcurrentOpen(t *testing.T) {
 			t.Fatalf("duplicate ID %s", id)
 		}
 		seen[id] = true
+	}
+}
+
+// TestClusterConfigEcho: a session must report the effective clustering
+// configuration (defaults applied) in wire form.
+func TestClusterConfigEcho(t *testing.T) {
+	m := NewManager()
+	config := func(s *Session) ClusterConfig {
+		var cfg ClusterConfig
+		_ = s.Do(func(e *core.Explorer) error {
+			cfg = DescribeCluster(e.Options())
+			return nil
+		})
+		return cfg
+	}
+	s, err := m.Open(smallTable(), core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ClusterConfig{Algorithm: "fasterpam", Oracle: "auto", Seeding: "auto"}
+	if cfg := config(s); cfg != want {
+		t.Errorf("ClusterConfig = %+v, want %+v", cfg, want)
+	}
+	s2, err := m.Open(smallTable(), core.Options{
+		Seed:           1,
+		PAMAlgorithm:   cluster.AlgorithmClassic,
+		OracleStrategy: cluster.OracleKNN,
+		Seeding:        cluster.SeedingKMeansPP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = ClusterConfig{Algorithm: "classic", Oracle: "knn", Seeding: "kmeans++"}
+	if cfg := config(s2); cfg != want {
+		t.Errorf("ClusterConfig = %+v, want %+v", cfg, want)
 	}
 }
