@@ -1,7 +1,11 @@
 # Developer entry points; CI runs the same commands (see
 # .github/workflows/ci.yml).
 
-.PHONY: build test race bench bench-smoke bench-pam vet
+.PHONY: build test race bench bench-smoke bench-pam vet race-jobs
+
+# The scheduler subsystem under the race detector (also a CI step).
+race-jobs:
+	go test -race ./internal/jobs/... ./internal/session/...
 
 build:
 	go build ./...
@@ -24,6 +28,10 @@ bench-smoke:
 	go test -bench=. -benchtime=1x -run '^$$' .
 
 # Regenerate BENCH_pam.json, the tracked PAM perf trajectory
-# (oracle strategies × seeding schemes).
+# (oracle strategies × seeding schemes), and append a per-commit
+# snapshot under bench_history/ so the trajectory is graphable across
+# commits, not just diffable.
 bench-pam:
 	go run ./cmd/blaeu-bench -pam-json BENCH_pam.json
+	mkdir -p bench_history
+	cp BENCH_pam.json bench_history/$$(git rev-parse --short HEAD).json

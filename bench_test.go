@@ -120,6 +120,32 @@ func BenchmarkCLARA(b *testing.B) {
 	}
 }
 
+// BenchmarkCLARAParallel measures the per-sample fan-out of CLARA at
+// n=10000 across worker counts (the PR 3 scheduler acceptance bar is
+// ≥2× wall-clock at 4 workers on a ≥4-core machine). The sample count
+// and size are raised so each sample is a meaningful unit of work; the
+// clustering is identical at every workers setting, so the sub-runs are
+// directly comparable.
+func BenchmarkCLARAParallel(b *testing.B) {
+	vecs, _ := benchVectors(10000, 6, 4)
+	o := &cluster.VectorOracle{Vecs: vecs, Metric: stats.Euclidean{}}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("n=10000/workers=%d", workers), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.CLARA(o, 4, cluster.CLARAOptions{
+					Samples:     8,
+					SampleSize:  500,
+					Parallelism: workers,
+					Rand:        rng,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkDBSCAN(b *testing.B) {
 	for _, n := range []int{500, 2000} {
 		vecs, _ := benchVectors(n, 4, 3)
@@ -266,9 +292,12 @@ func BenchmarkMapBuild(b *testing.B) {
 				// n=20000) — the memory wall the other strategies remove.
 				continue
 			}
+			// MapCacheSize -1: the benchmark times real builds, and a
+			// select/rollback loop would otherwise hit the zoom cache
+			// from iteration 2 on.
 			e, err := core.NewExplorer(ds.Table, core.Options{
 				Seed: 1, SampleSize: n, DependencySampleRows: 500,
-				OracleStrategy: strat,
+				OracleStrategy: strat, MapCacheSize: -1,
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -322,12 +351,13 @@ func BenchmarkSeeding(b *testing.B) {
 }
 
 // BenchmarkZoom times the zoom action end to end (region row gather +
-// fresh map) at scale.
+// fresh map) at scale, with the zoom cache disabled so every iteration
+// really rebuilds.
 func BenchmarkZoom(b *testing.B) {
 	rng := rand.New(rand.NewSource(9))
 	ds := datagen.PlantedBlobs(datagen.BlobSpec{N: 100000, K: 4, Dims: 8, Sep: 6}, rng)
 	e, err := core.NewExplorer(ds.Table, core.Options{
-		Seed: 1, SampleSize: 2000, DependencySampleRows: 500,
+		Seed: 1, SampleSize: 2000, DependencySampleRows: 500, MapCacheSize: -1,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -349,5 +379,48 @@ func BenchmarkZoom(b *testing.B) {
 		if err := e.Rollback(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkZoomCached is BenchmarkZoom with the zoom cache on: after the
+// first build, every re-zoom into the same selection is a cache lookup.
+// The gap between the two benchmarks is the repeat-navigation latency
+// the cache removes.
+func BenchmarkZoomCached(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	ds := datagen.PlantedBlobs(datagen.BlobSpec{N: 100000, K: 4, Dims: 8, Sep: 6}, rng)
+	e, err := core.NewExplorer(ds.Table, core.Options{
+		Seed: 1, SampleSize: 2000, DependencySampleRows: 500,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	id, err := e.AddTheme(ds.Table.ColumnNames())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := e.SelectTheme(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := m.Root.Leaves()[0].Path
+	if _, err := e.Zoom(path...); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	if err := e.Rollback(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Zoom(path...); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Rollback(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if hits, _ := e.MapCacheStats(); hits < b.N {
+		b.Fatalf("cache hits = %d over %d re-zooms — the cache is not being used", hits, b.N)
 	}
 }

@@ -28,6 +28,16 @@
 // seeding for k-means++ D² sampling or LAB subsample BUILD (see the e6
 // experiment). This is what lets the sampling budget default to 5000.
 //
+// At the serving tiers, map builds run asynchronously: the session
+// manager schedules them on a bounded worker pool (internal/jobs) with
+// per-session FIFO fairness, progress reporting, cancellation and a
+// zoom-aware result cache, and CLARA's per-sample PAM runs fan out
+// across the same pool with results identical to sequential execution
+// (Options.Parallelism / Options.Runner). Library users get the same
+// machinery through Explorer.PrepareZoom / MapBuild.Run /
+// Explorer.ApplyBuild; the plain Zoom / SelectTheme / Project run those
+// three steps inline.
+//
 // Quickstart:
 //
 //	table, _ := blaeu.ReadCSVFile("countries.csv", nil)

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	blaeud [-addr :8080] [-seed 1] [-sample 2000] [-lofar-n 200000] [file.csv ...]
+//	blaeud [-addr :8080] [-seed 1] [-sample 2000] [-lofar-n 200000] [-session-ttl 1h] [file.csv ...]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
@@ -30,6 +31,7 @@ func main() {
 	sample := flag.Int("sample", 2000, "multi-scale sampling budget per action")
 	lofarN := flag.Int("lofar-n", 200000, "rows in the synthetic LOFAR catalogue (0 disables)")
 	noBuiltin := flag.Bool("no-builtin", false, "do not load the built-in demo datasets")
+	sessionTTL := flag.Duration("session-ttl", time.Hour, "evict sessions idle for longer than this (0 disables)")
 	flag.Parse()
 
 	datasets := make(map[string]*store.Table)
@@ -57,6 +59,13 @@ func main() {
 	}
 
 	srv := server.New(datasets, core.Options{Seed: *seed, SampleSize: *sample})
-	log.Printf("Blaeu serving %d datasets on %s", len(datasets), *addr)
+	if *sessionTTL > 0 {
+		// Sweep at a quarter of the TTL: abandoned sessions (and their
+		// scheduled jobs) are reclaimed within 1.25 × TTL.
+		stop := srv.Manager().StartEvictor(*sessionTTL, *sessionTTL/4)
+		defer stop()
+	}
+	log.Printf("Blaeu serving %d datasets on %s (%d job workers)",
+		len(datasets), *addr, srv.Manager().Pool().Workers())
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -52,6 +53,14 @@ type AutoKOptions struct {
 	// MCSilhouette switches silhouette scoring to the Monte-Carlo
 	// estimator above this object count (default 2000; 0 keeps default).
 	MCSilhouetteThreshold int
+	// Context cancels the model-selection sweep between candidate k
+	// values and is forwarded to CLARA's per-sample runs; nil never
+	// cancels.
+	Context context.Context
+	// Progress, when set, is called after each scored candidate k with
+	// (done, total) counts — the hook asynchronous map builds report
+	// their progress fractions through.
+	Progress func(done, total int)
 	// Rand is the randomness source (required).
 	Rand *rand.Rand
 }
@@ -88,6 +97,9 @@ func ClusterK(o Oracle, k int, opts AutoKOptions) (*Clustering, error) {
 		co.Rand = opts.Rand
 		co.Algorithm = opts.Algorithm
 		co.Seeding = opts.Seeding
+		if co.Context == nil {
+			co.Context = opts.Context
+		}
 		return CLARA(o, k, co)
 	default:
 		return PAMRun(o, k, PAMOptions{Algorithm: opts.Algorithm, Seeding: opts.Seeding, Rand: opts.Rand})
@@ -120,6 +132,9 @@ func AutoK(o Oracle, opts AutoKOptions) (*Clustering, error) {
 
 	var best *Clustering
 	for k := opts.KMin; k <= kMax; k++ {
+		if err := ctxErr(opts.Context); err != nil {
+			return nil, err
+		}
 		c, err := ClusterK(o, k, opts)
 		if err != nil {
 			return nil, err
@@ -133,6 +148,9 @@ func AutoK(o Oracle, opts AutoKOptions) (*Clustering, error) {
 		c.Silhouette = sil
 		if best == nil || sil > best.Silhouette {
 			best = c
+		}
+		if opts.Progress != nil {
+			opts.Progress(k-opts.KMin+1, kMax-opts.KMin+1)
 		}
 	}
 	if best == nil || math.IsNaN(best.Silhouette) {

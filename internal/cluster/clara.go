@@ -1,12 +1,23 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"repro/internal/store"
 )
+
+// TaskRunner schedules a batch of independent tasks and returns when all
+// of them have finished. The session tier's job scheduler
+// (internal/jobs.Pool) implements it, so CLARA's per-sample fan-out can
+// share the server's worker budget instead of spawning unbounded
+// goroutines; when no runner is supplied the fan-out falls back to
+// CLARAOptions.Parallelism plain goroutines.
+type TaskRunner interface {
+	RunTasks(tasks []func())
+}
 
 // CLARAOptions tunes the CLARA run.
 type CLARAOptions struct {
@@ -25,6 +36,16 @@ type CLARAOptions struct {
 	// medoids (default SeedingAuto; samples are small, so auto stays on
 	// BUILD unless tuned otherwise).
 	Seeding Seeding
+	// Parallelism is how many per-sample runs execute concurrently when
+	// Runner is nil (<= 1 runs them sequentially). The clustering is
+	// identical at every setting — see the determinism note on CLARA.
+	Parallelism int
+	// Runner, when set, schedules the per-sample runs on an external
+	// worker pool and takes precedence over Parallelism.
+	Runner TaskRunner
+	// Context cancels the run at per-sample granularity; nil never
+	// cancels.
+	Context context.Context
 	// Rand is the randomness source (required).
 	Rand *rand.Rand
 }
@@ -38,58 +59,126 @@ func (o *CLARAOptions) defaults(k int) {
 	}
 }
 
+// ctxErr reports the context's cancellation error, tolerating nil.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // CLARA is the sampling-based variant of PAM for large data (Kaufman &
 // Rousseeuw 1990): it draws several random sub-samples, runs PAM on each,
 // extends each sample's medoids to the full dataset, and keeps the
 // medoid set with the lowest full-data cost. Blaeu switches to CLARA
 // "when the data is too large" (paper §3) to keep map construction
 // interactive.
+//
+// The per-sample runs are embarrassingly parallel and fan out across
+// Parallelism workers (or the external Runner). Results are exactly the
+// same at every parallelism level: each sample's row set and RNG seed
+// are drawn from Rand up front in sample order, every sample is
+// clustered independently, and the winner is chosen by lowest full-data
+// cost with ties broken toward the earliest sample. This independence
+// drops the textbook carry-over of the current best medoids into later
+// samples — the price of a deterministic fan-out; multi-sample runs
+// still never lose to single-sample ones, because sample 0 is always
+// among the candidates.
 func CLARA(o Oracle, k int, opts CLARAOptions) (*Clustering, error) {
 	n := o.N()
 	if opts.Rand == nil {
 		return nil, fmt.Errorf("cluster: CLARA requires a random source")
 	}
 	opts.defaults(k)
+	if err := ctxErr(opts.Context); err != nil {
+		return nil, err
+	}
 	if n <= opts.SampleSize || n <= k {
 		return PAMRun(o, k, PAMOptions{Algorithm: opts.Algorithm, Seeding: opts.Seeding, Rand: opts.Rand})
 	}
 
-	var best *Clustering
-	for s := 0; s < opts.Samples; s++ {
-		idx := store.SampleIndices(n, opts.SampleSize, opts.Rand)
-		// Always include the current best medoids in later samples, as in
-		// the original algorithm, so quality is monotone across samples.
-		if best != nil {
-			idx = mergeSorted(idx, best.Medoids)
-		}
-		sub := &SubsetOracle{Parent: o, Idx: idx}
-		c, err := PAMRun(sub, k, PAMOptions{Algorithm: opts.Algorithm, Seeding: opts.Seeding, Rand: opts.Rand})
-		if err != nil {
-			return nil, err
-		}
-		medoids := make([]int, len(c.Medoids))
-		for i, m := range c.Medoids {
-			medoids[i] = idx[m]
-		}
-		labels, cost := AssignToMedoids(o, medoids)
-		if best == nil || cost < best.Cost {
-			best = &Clustering{K: k, Labels: labels, Medoids: medoids, Cost: cost, Silhouette: math.NaN()}
+	// Draw every sample's inputs up front, in sample order, so the runs
+	// below are independent of execution order and of each other.
+	type sampleRun struct {
+		idx     []int
+		seed    int64
+		medoids []int
+		labels  []int
+		cost    float64
+		err     error
+	}
+	runs := make([]*sampleRun, opts.Samples)
+	for s := range runs {
+		runs[s] = &sampleRun{
+			idx:  store.SampleIndices(n, opts.SampleSize, opts.Rand),
+			seed: opts.Rand.Int63(),
+			cost: math.Inf(1),
 		}
 	}
-	return best, nil
+
+	tasks := make([]func(), len(runs))
+	for s := range runs {
+		r := runs[s]
+		tasks[s] = func() {
+			if r.err = ctxErr(opts.Context); r.err != nil {
+				return
+			}
+			sub := &SubsetOracle{Parent: o, Idx: r.idx}
+			c, err := PAMRun(sub, k, PAMOptions{
+				Algorithm: opts.Algorithm,
+				Seeding:   opts.Seeding,
+				Rand:      rand.New(rand.NewSource(r.seed)),
+			})
+			if err != nil {
+				r.err = err
+				return
+			}
+			r.medoids = make([]int, len(c.Medoids))
+			for i, m := range c.Medoids {
+				r.medoids[i] = r.idx[m]
+			}
+			// Extend the sample clustering to the full dataset — the
+			// expensive O(n·k) half of a sample's work, also parallelized
+			// by the fan-out.
+			r.labels, r.cost = AssignToMedoids(o, r.medoids)
+		}
+	}
+	runTasks(opts.Runner, opts.Parallelism, tasks)
+
+	var best *sampleRun
+	for _, r := range runs {
+		if r.err != nil {
+			// First error in sample order wins, so failures are as
+			// deterministic as results.
+			return nil, r.err
+		}
+		if best == nil || r.cost < best.cost {
+			best = r
+		}
+	}
+	return &Clustering{K: k, Labels: best.labels, Medoids: best.medoids, Cost: best.cost, Silhouette: math.NaN()}, nil
 }
 
-func mergeSorted(sorted []int, extra []int) []int {
-	present := make(map[int]bool, len(sorted))
-	for _, v := range sorted {
-		present[v] = true
+// runTasks executes the tasks via the runner when one is set, via
+// workers bounded goroutines otherwise, or inline when neither asks for
+// concurrency.
+func runTasks(runner TaskRunner, workers int, tasks []func()) {
+	if len(tasks) > 1 && runner != nil {
+		runner.RunTasks(tasks)
+		return
 	}
-	out := sorted
-	for _, v := range extra {
-		if !present[v] {
-			out = append(out, v)
-			present[v] = true
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			t()
 		}
+		return
 	}
-	return out
+	parallelChunks(len(tasks), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			tasks[i]()
+		}
+	})
 }

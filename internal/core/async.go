@@ -1,0 +1,181 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/store"
+)
+
+// MapBuild is one prepared map construction — the detachable middle of a
+// navigational action, split out so the expensive clustering can run on
+// a scheduler worker while the session lock stays free:
+//
+//	b, err := e.PrepareZoom(path...)   // cheap; under the session lock
+//	m, err := b.Run(ctx, progress)     // expensive; NO lock required
+//	err = e.ApplyBuild(b, m)           // cheap; under the session lock
+//
+// Prepare* validates the action and snapshots everything the build needs
+// (selection rows, theme, accumulated condition, a derived child RNG and
+// the zoom-cache lookup). Run touches only that snapshot plus immutable
+// Explorer state (table, options, metric), so concurrent Runs of one
+// session cannot race as long as applies are serialized — which the jobs
+// pool guarantees by running a session's jobs one at a time. ApplyBuild
+// refuses to fire if the navigation state moved since Prepare (e.g. a
+// rollback slipped in between), so a stale build can never corrupt the
+// history stack.
+//
+// The synchronous Zoom, SelectTheme and Project run exactly these three
+// steps inline — there is a single execution path for map builds.
+type MapBuild struct {
+	e      *Explorer
+	action ActionKind
+	detail string
+	rows   []int
+	theme  Theme
+	cond   store.And
+	rng    *rand.Rand
+	base   *State
+	key    mapKey
+	hit    *Map
+}
+
+// PrepareSelect stages a SelectTheme build.
+func (e *Explorer) PrepareSelect(themeID int) (*MapBuild, error) {
+	if themeID < 0 || themeID >= len(e.themes) {
+		return nil, fmt.Errorf("core: no theme %d (have %d)", themeID, len(e.themes))
+	}
+	cur := e.State()
+	return e.prepare(ActionSelect,
+		fmt.Sprintf("theme %d: %s", themeID, e.themes[themeID].Label()),
+		cur.Rows, e.themes[themeID], cur.Condition), nil
+}
+
+// PrepareProject stages a Project build.
+func (e *Explorer) PrepareProject(themeID int) (*MapBuild, error) {
+	if themeID < 0 || themeID >= len(e.themes) {
+		return nil, fmt.Errorf("core: no theme %d (have %d)", themeID, len(e.themes))
+	}
+	cur := e.State()
+	return e.prepare(ActionProject,
+		fmt.Sprintf("theme %d: %s", themeID, e.themes[themeID].Label()),
+		cur.Rows, e.themes[themeID], cur.Condition), nil
+}
+
+// PrepareZoom stages a Zoom build into the region at path.
+func (e *Explorer) PrepareZoom(path ...int) (*MapBuild, error) {
+	cur := e.State()
+	if cur.Map == nil {
+		return nil, fmt.Errorf("core: no active map to zoom (select a theme first)")
+	}
+	region, err := cur.Map.Root.Find(path)
+	if err != nil {
+		return nil, err
+	}
+	if region.Count() == 0 {
+		return nil, fmt.Errorf("core: region %v is empty", path)
+	}
+	cond := append(append(store.And(nil), cur.Condition...), region.Condition...)
+	return e.prepare(ActionZoom, region.Describe(), region.Rows, cur.Map.Theme, cond), nil
+}
+
+// prepare snapshots the build inputs, derives the child RNG and resolves
+// the zoom cache. The RNG draw happens on every prepare — hit or miss —
+// so the explorer's random stream advances identically either way and
+// later navigation does not depend on the cache's contents.
+func (e *Explorer) prepare(action ActionKind, detail string, rows []int, theme Theme, cond store.And) *MapBuild {
+	b := &MapBuild{
+		e:      e,
+		action: action,
+		detail: detail,
+		rows:   rows,
+		theme:  theme,
+		cond:   cond,
+		rng:    rand.New(rand.NewSource(e.rng.Int63())),
+		base:   e.State(),
+	}
+	if e.cache != nil {
+		b.key = mapKey{rows: fingerprintRows(rows), n: len(rows), theme: theme.ID, config: e.cfg}
+		b.hit = e.cache.get(b.key)
+	}
+	return b
+}
+
+// Cached reports whether Prepare resolved the build from the zoom cache,
+// in which case Run returns instantly without rebuilding oracle,
+// clustering or tree.
+func (b *MapBuild) Cached() bool { return b.hit != nil }
+
+// Action returns the navigational action the build performs.
+func (b *MapBuild) Action() ActionKind { return b.action }
+
+// Detail describes the build (e.g. the zoomed region's condition).
+func (b *MapBuild) Detail() string { return b.detail }
+
+// Rows returns how many tuples the build's selection holds.
+func (b *MapBuild) Rows() int { return len(b.rows) }
+
+// Run executes the mapping pipeline on the prepared snapshot. It must
+// not be called under the session lock — that is the point: ctx cancels
+// the build between pipeline stages and candidate k values, and progress
+// (may be nil) receives monotone fractions in [0, 1].
+func (b *MapBuild) Run(ctx context.Context, progress func(float64)) (*Map, error) {
+	if b.hit != nil {
+		if progress != nil {
+			progress(1)
+		}
+		// Hand out a fresh region tree, not the cached one: states must
+		// never share mutable regions (annotations).
+		return cloneForReuse(b.hit), nil
+	}
+	return b.e.buildMapWith(ctx, b.rng, b.rows, b.theme, progress)
+}
+
+// ApplyBuild pushes the finished map as the new navigation state and
+// feeds the zoom cache. It fails if the build belongs to another
+// explorer or if the navigation state changed since Prepare, so stale
+// results are dropped instead of corrupting the history.
+func (e *Explorer) ApplyBuild(b *MapBuild, m *Map) error {
+	if b.e != e {
+		return fmt.Errorf("core: build belongs to a different explorer")
+	}
+	if m == nil {
+		return fmt.Errorf("core: nil map")
+	}
+	if e.State() != b.base {
+		return fmt.Errorf("core: state changed since the %s build was prepared; navigate again", b.action)
+	}
+	if e.cache != nil && b.hit == nil {
+		e.cache.put(b.key, m)
+	}
+	e.push(&State{
+		Action:    b.action,
+		Detail:    b.detail,
+		Rows:      b.rows,
+		Map:       m,
+		Condition: b.cond,
+	})
+	return nil
+}
+
+// runAndApply is the synchronous path over the prepared build.
+func (e *Explorer) runAndApply(b *MapBuild) (*Map, error) {
+	m, err := b.Run(context.Background(), nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.ApplyBuild(b, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// MapCacheStats reports the zoom cache's hit/miss counters (both zero
+// when the cache is disabled).
+func (e *Explorer) MapCacheStats() (hits, misses int) {
+	if e.cache == nil {
+		return 0, 0
+	}
+	return e.cache.hits, e.cache.misses
+}

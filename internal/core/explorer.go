@@ -42,7 +42,10 @@ type State struct {
 }
 
 // Explorer is a Blaeu exploration session over one table. It is not safe
-// for concurrent use; wrap it in a session manager for serving.
+// for concurrent use; wrap it in a session manager for serving. The
+// exception is MapBuild.Run, which only reads immutable fields and may
+// execute on a scheduler worker while the owner's lock is released (see
+// MapBuild).
 type Explorer struct {
 	table  *store.Table
 	opts   Options
@@ -51,6 +54,11 @@ type Explorer struct {
 	graph  *graph.Graph
 	themes []Theme
 	states []*State // states[len-1] is current
+
+	// cache is the zoom-aware map cache (nil when disabled); cfg is the
+	// build-relevant options fingerprint baked into its keys.
+	cache *mapCache
+	cfg   uint64
 }
 
 // NewExplorer opens an exploration session: it detects the themes of the
@@ -61,6 +69,10 @@ func NewExplorer(t *store.Table, opts Options) (*Explorer, error) {
 		return nil, fmt.Errorf("core: table %q is empty", t.Name())
 	}
 	e := &Explorer{table: t, opts: opts, rng: opts.newRNG(), metric: stats.Euclidean{}}
+	if opts.MapCacheSize > 0 {
+		e.cache = newMapCache(opts.MapCacheSize)
+		e.cfg = configFingerprint(opts)
+	}
 	if err := e.detectThemes(); err != nil {
 		return nil, err
 	}
@@ -129,76 +141,39 @@ func (e *Explorer) push(s *State) {
 }
 
 // SelectTheme builds (and activates) the data map of the given theme over
-// the current selection — the first navigational step of §2.
+// the current selection — the first navigational step of §2. It runs the
+// prepare → run → apply path of MapBuild inline; PrepareSelect is the
+// asynchronous counterpart.
 func (e *Explorer) SelectTheme(themeID int) (*Map, error) {
-	if themeID < 0 || themeID >= len(e.themes) {
-		return nil, fmt.Errorf("core: no theme %d (have %d)", themeID, len(e.themes))
-	}
-	cur := e.State()
-	m, err := e.buildMap(cur.Rows, e.themes[themeID])
+	b, err := e.PrepareSelect(themeID)
 	if err != nil {
 		return nil, err
 	}
-	e.push(&State{
-		Action:    ActionSelect,
-		Detail:    fmt.Sprintf("theme %d: %s", themeID, e.themes[themeID].Label()),
-		Rows:      cur.Rows,
-		Map:       m,
-		Condition: cur.Condition,
-	})
-	return m, nil
+	return e.runAndApply(b)
 }
 
 // Zoom drills into the region at the given path of the current map: the
 // selection narrows to the region's tuples and a fresh map is built on
-// them with the same theme (paper §2, Fig. 1c).
+// them with the same theme (paper §2, Fig. 1c). Revisited selections are
+// served from the zoom cache (see MapBuild.Cached); PrepareZoom is the
+// asynchronous counterpart.
 func (e *Explorer) Zoom(path ...int) (*Map, error) {
-	cur := e.State()
-	if cur.Map == nil {
-		return nil, fmt.Errorf("core: no active map to zoom (select a theme first)")
-	}
-	region, err := cur.Map.Root.Find(path)
+	b, err := e.PrepareZoom(path...)
 	if err != nil {
 		return nil, err
 	}
-	if region.Count() == 0 {
-		return nil, fmt.Errorf("core: region %v is empty", path)
-	}
-	m, err := e.buildMap(region.Rows, cur.Map.Theme)
-	if err != nil {
-		return nil, err
-	}
-	cond := append(append(store.And(nil), cur.Condition...), region.Condition...)
-	e.push(&State{
-		Action:    ActionZoom,
-		Detail:    region.Describe(),
-		Rows:      region.Rows,
-		Map:       m,
-		Condition: cond,
-	})
-	return m, nil
+	return e.runAndApply(b)
 }
 
 // Project re-maps the current selection with another theme's columns,
 // keeping the tuples (paper §2, Fig. 1d): an alternative "aspect" of the
-// same data.
+// same data. PrepareProject is the asynchronous counterpart.
 func (e *Explorer) Project(themeID int) (*Map, error) {
-	if themeID < 0 || themeID >= len(e.themes) {
-		return nil, fmt.Errorf("core: no theme %d (have %d)", themeID, len(e.themes))
-	}
-	cur := e.State()
-	m, err := e.buildMap(cur.Rows, e.themes[themeID])
+	b, err := e.PrepareProject(themeID)
 	if err != nil {
 		return nil, err
 	}
-	e.push(&State{
-		Action:    ActionProject,
-		Detail:    fmt.Sprintf("theme %d: %s", themeID, e.themes[themeID].Label()),
-		Rows:      cur.Rows,
-		Map:       m,
-		Condition: cur.Condition,
-	})
-	return m, nil
+	return e.runAndApply(b)
 }
 
 // ExecuteQuery parses and runs the current implicit query against the

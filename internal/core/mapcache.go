@@ -1,0 +1,123 @@
+package core
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// DefaultMapCacheSize is the default capacity (entries) of the
+// zoom-aware map cache.
+const DefaultMapCacheSize = 16
+
+// mapKey identifies one cached map build. Two builds share an entry iff
+// they cluster the same selection (row fingerprint + count), under the
+// same theme, with the same effective clustering configuration — the
+// keying rule of the zoom cache. The session dimension of the key is
+// implicit: every Explorer owns its own cache.
+type mapKey struct {
+	rows   uint64 // FNV-1a over the selection's row indices, in order
+	n      int    // row count, a cheap collision guard
+	theme  int    // Theme.ID (themes are immutable once detected)
+	config uint64 // fingerprint of the build-relevant Options
+}
+
+// mapCache is a small LRU of finished maps, owned by one Explorer and
+// accessed only under whatever lock guards the Explorer (the session
+// mutex at the server tier), so it needs no locking of its own.
+type mapCache struct {
+	cap          int
+	order        *list.List // front = most recently used
+	byKey        map[mapKey]*list.Element
+	hits, misses int
+}
+
+type mapCacheEntry struct {
+	key mapKey
+	m   *Map
+}
+
+func newMapCache(capacity int) *mapCache {
+	return &mapCache{cap: capacity, order: list.New(), byKey: make(map[mapKey]*list.Element)}
+}
+
+// get returns the cached map for the key, or nil, updating the LRU order
+// and the hit/miss counters.
+func (c *mapCache) get(k mapKey) *Map {
+	if el, ok := c.byKey[k]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		return el.Value.(*mapCacheEntry).m
+	}
+	c.misses++
+	return nil
+}
+
+// put stores a finished map, evicting the least recently used entries
+// beyond capacity.
+func (c *mapCache) put(k mapKey, m *Map) {
+	if el, ok := c.byKey[k]; ok {
+		el.Value.(*mapCacheEntry).m = m
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[k] = c.order.PushFront(&mapCacheEntry{key: k, m: m})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*mapCacheEntry).key)
+	}
+}
+
+// cloneForReuse returns a copy of a cached map with a fresh region
+// tree, so a cache hit behaves like a fresh build: navigation states
+// never share mutable regions, and annotations made on one state can
+// neither leak into a later re-zoom nor be mutated through it.
+// Annotations are dropped (a fresh build has none); Rows, Split and
+// Condition are shared — they are read-only once built.
+func cloneForReuse(m *Map) *Map {
+	out := *m
+	out.Root = cloneRegion(m.Root)
+	return &out
+}
+
+func cloneRegion(r *Region) *Region {
+	out := *r
+	out.Annotations = nil
+	if len(r.Children) > 0 {
+		out.Children = make([]*Region, len(r.Children))
+		for i, c := range r.Children {
+			out.Children[i] = cloneRegion(c)
+		}
+	}
+	return &out
+}
+
+// fingerprintRows hashes a selection's row indices (FNV-1a, 64 bit).
+func fingerprintRows(rows []int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, r := range rows {
+		binary.LittleEndian.PutUint64(buf[:], uint64(r))
+		_, _ = h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// configFingerprint hashes every option field that changes what
+// buildMap produces for a given (rows, theme): the ClusterConfig wire
+// strings, the sampling, model-selection and tree knobs, and the k-NN
+// oracle parameters (which change knn-strategy clusterings).
+// Parallelism and the oracle materialization threshold are deliberately
+// excluded — they change how fast a map is built, not which map (lazy
+// and materialized oracles are byte-identical).
+func configFingerprint(o Options) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s|%s|%d|%d|%d|%d|%d|%d|%d|%d",
+		o.PAMAlgorithm, o.OracleStrategy, o.Seeding, o.ClusterMethod,
+		o.SampleSize, o.MapKMin, o.MapKMax,
+		o.TreeMaxDepth, o.TreeMinLeaf, o.PAMThreshold,
+		o.KNN.K, o.KNN.Pivots)
+	return h.Sum64()
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"math/rand"
 
 	"repro/internal/cluster"
 	"repro/internal/prep"
@@ -46,19 +48,40 @@ type Map struct {
 //  5. the tree is applied to the *full* selection, so region counts
 //     reflect all tuples, not just the sample.
 func (e *Explorer) buildMap(rows []int, theme Theme) (*Map, error) {
+	return e.buildMapWith(context.Background(), e.rng, rows, theme, nil)
+}
+
+// buildMapWith is buildMap with the build's moving parts made explicit,
+// so it can run detached from the Explorer on a scheduler worker (see
+// MapBuild): ctx cancels the build at stage and per-k granularity, rng
+// is the randomness source (async builds get a child RNG derived at
+// prepare time, so they never race on e.rng), and progress — may be nil
+// — receives monotone completion fractions in [0, 1]. Apart from rng,
+// the method only reads immutable Explorer state (table, options,
+// metric), which is what makes lock-free execution safe.
+func (e *Explorer) buildMapWith(ctx context.Context, rng *rand.Rand, rows []int, theme Theme, progress func(float64)) (*Map, error) {
+	report := func(f float64) {
+		if progress != nil {
+			progress(f)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("core: empty selection")
 	}
 	// Stage 0: multi-scale sampling.
 	sampleRows := rows
 	if len(rows) > e.opts.SampleSize {
-		pick := store.SampleIndices(len(rows), e.opts.SampleSize, e.rng)
+		pick := store.SampleIndices(len(rows), e.opts.SampleSize, rng)
 		sampleRows = make([]int, len(pick))
 		for i, p := range pick {
 			sampleRows[i] = rows[p]
 		}
 	}
 	sample := e.table.Gather(sampleRows)
+	report(0.05)
 
 	// Stage 1: preprocessing. A selection that is constant (or key-only)
 	// on the theme's columns has no cluster structure left: degrade to a
@@ -66,6 +89,7 @@ func (e *Explorer) buildMap(rows []int, theme Theme) (*Map, error) {
 	// bottom of any region and still roll back.
 	pipe, vecs, err := prep.FitTransform(sample, theme.Columns, e.opts.Prep)
 	if err != nil {
+		report(1)
 		return &Map{
 			Theme: theme, K: 1, Silhouette: 0, TreeAccuracy: 1,
 			SampleSize: len(sampleRows),
@@ -75,6 +99,7 @@ func (e *Explorer) buildMap(rows []int, theme Theme) (*Map, error) {
 
 	// Stage 2: cluster detection with automatic k.
 	oracle := e.oracleFor(vecs)
+	report(0.15)
 	kMax := e.opts.MapKMax
 	if kMax >= len(vecs) {
 		kMax = len(vecs) - 1
@@ -91,12 +116,26 @@ func (e *Explorer) buildMap(rows []int, theme Theme) (*Map, error) {
 			Seeding:               e.opts.Seeding,
 			LargeThreshold:        e.opts.PAMThreshold,
 			MCSilhouetteThreshold: e.opts.PAMThreshold,
-			Rand:                  e.rng,
+			Context:               ctx,
+			Progress: func(done, total int) {
+				// Model selection dominates the build: map it onto the
+				// [0.15, 0.85] band of the progress fraction.
+				report(0.15 + 0.7*float64(done)/float64(total))
+			},
+			CLARA: cluster.CLARAOptions{
+				Parallelism: e.opts.Parallelism,
+				Runner:      e.opts.Runner,
+			},
+			Rand: rng,
 		})
 		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
 			return nil, fmt.Errorf("core: clustering theme %d: %w", theme.ID, err)
 		}
 	}
+	report(0.85)
 
 	// Stage 3: cluster description on the original tuples.
 	m := &Map{Theme: theme, K: clustering.K, Silhouette: clustering.Silhouette,
@@ -104,7 +143,11 @@ func (e *Explorer) buildMap(rows []int, theme Theme) (*Map, error) {
 	if clustering.K < 2 {
 		m.Root = &Region{ClusterID: 0, Rows: rows, Silhouette: math.NaN()}
 		m.TreeAccuracy = 1
+		report(1)
 		return m, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	features := pipe.UsedColumns()
 	tr, err := tree.Fit(sample, features, clustering.Labels, clustering.K, tree.Options{
@@ -117,12 +160,14 @@ func (e *Explorer) buildMap(rows []int, theme Theme) (*Map, error) {
 	tr.Prune()
 	m.Tree = tr
 	m.TreeAccuracy = tr.Accuracy(sample, clustering.Labels)
+	report(0.92)
 
 	// Per-cluster quality for leaf annotation.
 	perCluster := cluster.SilhouettePerCluster(oracle, clustering.Labels, clustering.K)
 
 	// Stage 4: extend the description to the full selection.
 	m.Root = e.regionsFromTree(tr.Root, rows, nil, nil, perCluster)
+	report(1)
 	return m, nil
 }
 

@@ -16,6 +16,7 @@ package core
 
 import (
 	"math/rand"
+	"runtime"
 
 	"repro/internal/cluster"
 	"repro/internal/prep"
@@ -78,6 +79,20 @@ type Options struct {
 	// Monte-Carlo estimator (paper §3: "when the data is too large,
 	// Blaeu creates the maps with CLARA"). Default 1024.
 	PAMThreshold int
+	// Parallelism bounds how many of CLARA's per-sample PAM runs execute
+	// concurrently during map builds (default runtime.NumCPU()). The
+	// clustering is identical at every setting — see cluster.CLARA.
+	Parallelism int
+	// Runner, when set, schedules CLARA's per-sample fan-out on an
+	// external worker pool instead of Parallelism plain goroutines; the
+	// session tier installs its job scheduler (internal/jobs.Pool) here.
+	Runner cluster.TaskRunner
+	// MapCacheSize bounds the zoom-aware map cache: finished maps are
+	// keyed by (row-set fingerprint, theme, clustering config) and
+	// reused when navigation revisits a selection, e.g. rollback
+	// followed by a re-zoom into the same region. 0 means
+	// DefaultMapCacheSize; negative disables the cache.
+	MapCacheSize int
 	// MaxHistory bounds the rollback stack (default 64).
 	MaxHistory int
 }
@@ -94,7 +109,9 @@ func DefaultOptions() Options {
 		TreeMinLeaf:     8,
 		Prep:            prep.NewOptions(),
 		PAMThreshold:    1024,
+		Parallelism:     runtime.NumCPU(),
 		OracleThreshold: cluster.DefaultMaterializeThreshold,
+		MapCacheSize:    DefaultMapCacheSize,
 		MaxHistory:      64,
 	}
 }
@@ -130,6 +147,12 @@ func (o *Options) defaults() {
 	}
 	if o.PAMThreshold <= 0 {
 		o.PAMThreshold = d.PAMThreshold
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = d.Parallelism
+	}
+	if o.MapCacheSize == 0 {
+		o.MapCacheSize = d.MapCacheSize
 	}
 	if o.OracleThreshold <= 0 {
 		o.OracleThreshold = d.OracleThreshold

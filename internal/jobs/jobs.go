@@ -1,0 +1,218 @@
+// Package jobs implements the asynchronous job scheduler of the session
+// tier: a bounded worker pool with per-session FIFO fairness, typed job
+// handles carrying status, progress and results, and cooperative
+// cancellation through context.Context.
+//
+// The pool exists to keep the HTTP tier responsive. Map builds (theme
+// selection, zoom, projection) are submitted as jobs and run on pool
+// workers, so a large clustering never stalls its session's lock — the
+// lock is held only for the cheap prepare and apply steps around the
+// build (see internal/session.Session.Submit). The same motivation as
+// Polynesia's isolated analytical engines: interactive traffic must not
+// queue behind heavy analytics.
+//
+// Scheduling guarantees:
+//
+//   - jobs of one session run strictly in submit order, one at a time
+//     (per-session serialization — what makes the prepare/apply protocol
+//     of core.MapBuild safe without holding the session lock);
+//   - across sessions, dispatch is round-robin over the sessions that
+//     have queued work, so one busy session cannot starve the rest;
+//   - at most Workers jobs run at once.
+//
+// The pool also doubles as a compute lane for data-parallel fan-out
+// inside a job (RunTasks): CLARA's per-sample PAM runs are scheduled
+// through it with a caller-runs fallback, so nested parallelism can
+// never deadlock the job workers.
+package jobs
+
+import (
+	"context"
+	"time"
+)
+
+// Status is a job's lifecycle state. Transitions are strictly
+// queued → running → {done, failed, cancelled}, except that a queued job
+// cancelled before dispatch goes straight to cancelled.
+type Status string
+
+// The job states.
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// Func is the work a job performs. ctx is cancelled when the job is
+// cancelled (or the pool closes); long builds must observe it. The job
+// handle is passed in so the function can report progress fractions
+// (Job.SetProgress) and attach metadata (Job.SetMeta) while running. The
+// returned value becomes Job.Result on success.
+type Func func(ctx context.Context, j *Job) (any, error)
+
+// Job is the handle of one scheduled unit of work. All mutable state is
+// guarded by the owning pool's lock; the accessors below are safe for
+// concurrent use.
+type Job struct {
+	pool    *Pool
+	id      string
+	session string
+	kind    string
+	fn      Func
+
+	ctx      context.Context
+	cancelFn context.CancelFunc
+	done     chan struct{}
+
+	// Guarded by pool.mu.
+	status   Status
+	progress float64
+	result   any
+	err      error
+	meta     map[string]any
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// ID returns the pool-unique job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Session returns the fairness/serialization key the job was submitted
+// under (the session ID at the HTTP tier).
+func (j *Job) Session() string { return j.session }
+
+// Kind names the kind of work ("zoom", "select", "project", ...).
+func (j *Job) Kind() string { return j.kind }
+
+// Status returns the current lifecycle state.
+func (j *Job) Status() Status {
+	j.pool.mu.Lock()
+	defer j.pool.mu.Unlock()
+	return j.status
+}
+
+// Progress returns the completion fraction in [0, 1]. It is monotone:
+// SetProgress never moves it backwards, and terminal success pins it
+// to 1.
+func (j *Job) Progress() float64 {
+	j.pool.mu.Lock()
+	defer j.pool.mu.Unlock()
+	return j.progress
+}
+
+// SetProgress reports a completion fraction from inside Func. Values are
+// clamped to [0, 1]; regressions are ignored so observers always see a
+// monotone fraction.
+func (j *Job) SetProgress(f float64) {
+	if f < 0 {
+		f = 0
+	} else if f > 1 {
+		f = 1
+	}
+	j.pool.mu.Lock()
+	if f > j.progress {
+		j.progress = f
+	}
+	j.pool.mu.Unlock()
+}
+
+// SetMeta attaches an observable key/value to the job (e.g. the zoom
+// cache reporting "cacheHit": true). Safe to call from inside Func.
+func (j *Job) SetMeta(key string, value any) {
+	j.pool.mu.Lock()
+	j.meta[key] = value
+	j.pool.mu.Unlock()
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Err returns the job's error: nil while in flight or after success, the
+// Func error after failure, and a context error after cancellation.
+func (j *Job) Err() error {
+	j.pool.mu.Lock()
+	defer j.pool.mu.Unlock()
+	return j.err
+}
+
+// Result returns the Func return value after a successful run, nil
+// otherwise.
+func (j *Job) Result() any {
+	j.pool.mu.Lock()
+	defer j.pool.mu.Unlock()
+	return j.result
+}
+
+// Cancel requests cancellation: a queued job is dropped immediately
+// (status cancelled), a running job has its context cancelled and
+// reaches a terminal state when its Func returns. Cancel reports whether
+// it had any effect (false once the job is terminal).
+func (j *Job) Cancel() bool { return j.pool.cancel(j) }
+
+// Wait blocks until the job is terminal or ctx expires. It returns the
+// job's error (nil on success) or ctx's error if ctx won the race.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return j.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Info is the wire-shaped snapshot of a job, returned by the job status
+// endpoints and embedded in session state responses. Timestamps are
+// RFC 3339 with nanoseconds; StartedAt/FinishedAt are empty until the
+// job reaches the corresponding state.
+type Info struct {
+	ID         string         `json:"id"`
+	Session    string         `json:"session"`
+	Kind       string         `json:"kind"`
+	Status     Status         `json:"status"`
+	Progress   float64        `json:"progress"`
+	Error      string         `json:"error,omitempty"`
+	Meta       map[string]any `json:"meta,omitempty"`
+	CreatedAt  string         `json:"createdAt,omitempty"`
+	StartedAt  string         `json:"startedAt,omitempty"`
+	FinishedAt string         `json:"finishedAt,omitempty"`
+}
+
+// Info snapshots the job under the pool lock.
+func (j *Job) Info() Info {
+	stamp := func(t time.Time) string {
+		if t.IsZero() {
+			return ""
+		}
+		return t.UTC().Format(time.RFC3339Nano)
+	}
+	j.pool.mu.Lock()
+	defer j.pool.mu.Unlock()
+	out := Info{
+		ID:         j.id,
+		Session:    j.session,
+		Kind:       j.kind,
+		Status:     j.status,
+		Progress:   j.progress,
+		CreatedAt:  stamp(j.created),
+		StartedAt:  stamp(j.started),
+		FinishedAt: stamp(j.finished),
+	}
+	if j.err != nil {
+		out.Error = j.err.Error()
+	}
+	if len(j.meta) > 0 {
+		out.Meta = make(map[string]any, len(j.meta))
+		for k, v := range j.meta {
+			out.Meta[k] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,331 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func waitCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestSubmitRunDone(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	j, err := p.Submit("s1", "work", func(ctx context.Context, j *Job) (any, error) {
+		j.SetProgress(0.5)
+		j.SetMeta("touched", true)
+		return 42, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if j.Status() != StatusDone {
+		t.Errorf("status = %s", j.Status())
+	}
+	if j.Result() != 42 {
+		t.Errorf("result = %v", j.Result())
+	}
+	if j.Progress() != 1 {
+		t.Errorf("done progress = %g, want 1", j.Progress())
+	}
+	info := j.Info()
+	if info.Meta["touched"] != true || info.Status != StatusDone || info.ID != j.ID() {
+		t.Errorf("info = %+v", info)
+	}
+	if got, ok := p.Get(j.ID()); !ok || got != j {
+		t.Error("Get lost the finished job")
+	}
+}
+
+func TestFailedJob(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	boom := errors.New("boom")
+	j, _ := p.Submit("s1", "work", func(ctx context.Context, j *Job) (any, error) {
+		return nil, boom
+	})
+	if err := j.Wait(waitCtx(t)); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if j.Status() != StatusFailed {
+		t.Errorf("status = %s", j.Status())
+	}
+}
+
+func TestPanicBecomesFailure(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	j, _ := p.Submit("s1", "work", func(ctx context.Context, j *Job) (any, error) {
+		panic("kaboom")
+	})
+	if err := j.Wait(waitCtx(t)); err == nil {
+		t.Fatal("panicking job should fail")
+	}
+	if j.Status() != StatusFailed {
+		t.Errorf("status = %s", j.Status())
+	}
+	// The worker survived the panic.
+	j2, _ := p.Submit("s1", "work", func(ctx context.Context, j *Job) (any, error) { return "ok", nil })
+	if err := j2.Wait(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPerSessionSerializationAndOrder: one session's jobs must run
+// strictly FIFO, never two at once, even with spare workers.
+func TestPerSessionSerializationAndOrder(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var mu sync.Mutex
+	var order []int
+	var active, maxActive int32
+	var jobs []*Job
+	for i := 0; i < 8; i++ {
+		i := i
+		j, err := p.Submit("s1", "work", func(ctx context.Context, j *Job) (any, error) {
+			n := atomic.AddInt32(&active, 1)
+			if n > atomic.LoadInt32(&maxActive) {
+				atomic.StoreInt32(&maxActive, n)
+			}
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			atomic.AddInt32(&active, -1)
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		if err := j.Wait(waitCtx(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if maxActive != 1 {
+		t.Errorf("max concurrent jobs of one session = %d, want 1", maxActive)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("run order %v, want FIFO", order)
+		}
+	}
+}
+
+// TestRoundRobinFairness: with one worker, a late-arriving session must
+// be served before the first session's backlog drains.
+func TestRoundRobinFairness(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	gate, _ := p.Submit("a", "gate", func(ctx context.Context, j *Job) (any, error) {
+		close(started)
+		<-release
+		return nil, nil
+	})
+	<-started // the worker is now busy; everything below queues
+
+	var mu sync.Mutex
+	var order []string
+	mark := func(name string) Func {
+		return func(ctx context.Context, j *Job) (any, error) {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return nil, nil
+		}
+	}
+	a2, _ := p.Submit("a", "work", mark("a2"))
+	a3, _ := p.Submit("a", "work", mark("a3"))
+	b1, _ := p.Submit("b", "work", mark("b1"))
+	close(release)
+	for _, j := range []*Job{gate, a2, a3, b1} {
+		if err := j.Wait(waitCtx(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"a2", "b1", "a3"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (round-robin across sessions)", order, want)
+		}
+	}
+}
+
+func TestCancelQueued(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	p.Submit("a", "gate", func(ctx context.Context, j *Job) (any, error) {
+		close(started)
+		<-release
+		return nil, nil
+	})
+	<-started
+	ran := false
+	q, _ := p.Submit("a", "work", func(ctx context.Context, j *Job) (any, error) {
+		ran = true
+		return nil, nil
+	})
+	if !q.Cancel() {
+		t.Fatal("cancel of a queued job should succeed")
+	}
+	if err := q.Wait(waitCtx(t)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if q.Status() != StatusCancelled {
+		t.Errorf("status = %s", q.Status())
+	}
+	if ran {
+		t.Error("cancelled queued job must never run")
+	}
+	if q.Cancel() {
+		t.Error("second cancel should report no effect")
+	}
+}
+
+func TestCancelRunning(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	started := make(chan struct{})
+	j, _ := p.Submit("a", "work", func(ctx context.Context, j *Job) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	<-started
+	if !j.Cancel() {
+		t.Fatal("cancel of a running job should succeed")
+	}
+	if err := j.Wait(waitCtx(t)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if j.Status() != StatusCancelled {
+		t.Errorf("status = %s", j.Status())
+	}
+}
+
+func TestCancelSession(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	started := make(chan struct{})
+	running, _ := p.Submit("a", "work", func(ctx context.Context, j *Job) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	<-started
+	q1, _ := p.Submit("a", "work", func(ctx context.Context, j *Job) (any, error) { return nil, nil })
+	other, _ := p.Submit("b", "work", func(ctx context.Context, j *Job) (any, error) { return "b", nil })
+	if n := p.CancelSession("a"); n != 2 {
+		t.Errorf("cancelled %d jobs, want 2", n)
+	}
+	for _, j := range []*Job{running, q1} {
+		if err := j.Wait(waitCtx(t)); !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	// The other session is untouched and still runs.
+	if err := other.Wait(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseCancelsAndStops(t *testing.T) {
+	p := NewPool(1)
+	started := make(chan struct{})
+	running, _ := p.Submit("a", "work", func(ctx context.Context, j *Job) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	<-started
+	queued, _ := p.Submit("a", "work", func(ctx context.Context, j *Job) (any, error) { return nil, nil })
+	p.Close()
+	if running.Status() != StatusCancelled || queued.Status() != StatusCancelled {
+		t.Errorf("statuses after close: %s, %s", running.Status(), queued.Status())
+	}
+	if _, err := p.Submit("a", "work", func(ctx context.Context, j *Job) (any, error) { return nil, nil }); err == nil {
+		t.Error("submit after close should fail")
+	}
+	p.Close() // idempotent
+}
+
+func TestSessionJobsOrdered(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	var want []string
+	for i := 0; i < 3; i++ {
+		j, _ := p.Submit("a", fmt.Sprintf("k%d", i), func(ctx context.Context, j *Job) (any, error) { return nil, nil })
+		want = append(want, j.ID())
+	}
+	p.Submit("b", "other", func(ctx context.Context, j *Job) (any, error) { return nil, nil })
+	got := p.SessionJobs("a")
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i, j := range got {
+		if j.ID() != want[i] {
+			t.Errorf("jobs[%d] = %s, want %s", i, j.ID(), want[i])
+		}
+	}
+}
+
+// TestRunTasksFromInsideJob: nested fan-out must complete even when the
+// single job worker is occupied by the very job doing the fan-out.
+func TestRunTasksFromInsideJob(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	j, _ := p.Submit("a", "fanout", func(ctx context.Context, j *Job) (any, error) {
+		var n int32
+		tasks := make([]func(), 16)
+		for i := range tasks {
+			tasks[i] = func() { atomic.AddInt32(&n, 1) }
+		}
+		p.RunTasks(tasks)
+		return int(n), nil
+	})
+	if err := j.Wait(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if j.Result() != 16 {
+		t.Errorf("ran %v tasks, want 16", j.Result())
+	}
+}
+
+func TestProgressClampedAndMonotone(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	j, _ := p.Submit("a", "work", func(ctx context.Context, j *Job) (any, error) {
+		j.SetProgress(0.8)
+		j.SetProgress(0.2) // regression: ignored
+		if got := j.Progress(); got != 0.8 {
+			return nil, fmt.Errorf("progress = %g, want 0.8", got)
+		}
+		j.SetProgress(7) // clamped
+		if got := j.Progress(); got != 1 {
+			return nil, fmt.Errorf("progress = %g, want 1", got)
+		}
+		return nil, nil
+	})
+	if err := j.Wait(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,363 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// retainFinished bounds how many terminal jobs the pool keeps around for
+// status lookups before the oldest are forgotten.
+const retainFinished = 1024
+
+// Pool is a bounded worker pool dispatching jobs FIFO per session and
+// round-robin across sessions (see the package comment for the full
+// scheduling contract).
+type Pool struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	workers int
+	queues  map[string][]*Job // per-session FIFO of queued jobs
+	ring    []string          // sessions with queued work, round-robin order
+	next    int               // ring cursor
+	running map[string]*Job   // session -> its currently running job
+	jobs    map[string]*Job   // every known job by ID
+	doneLog []string          // terminal job IDs, oldest first (retention)
+	nextID  int
+	closed  bool
+
+	wg      sync.WaitGroup
+	compute chan struct{} // fan-out lane for RunTasks
+}
+
+// NewPool starts a pool with the given number of job workers
+// (workers <= 0 means runtime.NumCPU()).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	p := &Pool{
+		workers: workers,
+		queues:  make(map[string][]*Job),
+		running: make(map[string]*Job),
+		jobs:    make(map[string]*Job),
+		compute: make(chan struct{}, workers),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the pool's parallelism.
+func (p *Pool) Workers() int { return p.workers }
+
+// Submit queues fn as a job under the given session key and returns its
+// handle immediately. Jobs of one session run FIFO, one at a time.
+func (p *Pool) Submit(session, kind string, fn Func) (*Job, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, errors.New("jobs: pool is closed")
+	}
+	p.nextID++
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		pool:     p,
+		id:       fmt.Sprintf("j%06d", p.nextID),
+		session:  session,
+		kind:     kind,
+		fn:       fn,
+		ctx:      ctx,
+		cancelFn: cancel,
+		done:     make(chan struct{}),
+		status:   StatusQueued,
+		meta:     make(map[string]any),
+		created:  time.Now(),
+	}
+	p.jobs[j.id] = j
+	if len(p.queues[session]) == 0 {
+		p.ring = append(p.ring, session)
+	}
+	p.queues[session] = append(p.queues[session], j)
+	p.cond.Signal()
+	return j, nil
+}
+
+// Get looks up a job by ID. Terminal jobs stay visible until the
+// retention window (retainFinished) pushes them out.
+func (p *Pool) Get(id string) (*Job, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	return j, ok
+}
+
+// SessionJobs returns every known job of the session (queued, running
+// and retained terminal ones) in submit order.
+func (p *Pool) SessionJobs(session string) []*Job {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []*Job
+	for _, j := range p.jobs {
+		if j.session == session {
+			out = append(out, j)
+		}
+	}
+	// Shorter IDs first, then lexicographic: numeric submit order even
+	// after the zero-padded counter grows past its width.
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a].id) != len(out[b].id) {
+			return len(out[a].id) < len(out[b].id)
+		}
+		return out[a].id < out[b].id
+	})
+	return out
+}
+
+// InFlight reports how many of the session's jobs are queued or
+// running. The session tier's idle evictor consults it so a session
+// with work in flight never counts as abandoned.
+func (p *Pool) InFlight(session string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.queues[session])
+	if p.running[session] != nil {
+		n++
+	}
+	return n
+}
+
+// CancelSession cancels every queued job of the session immediately and
+// signals cancellation to its running job, if any. It returns how many
+// jobs were affected. Manager.Close calls this so no worker ever writes
+// into a closed session.
+func (p *Pool) CancelSession(session string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	if q := p.queues[session]; len(q) > 0 {
+		delete(p.queues, session)
+		p.dropFromRing(session)
+		for _, j := range q {
+			j.cancelFn()
+			p.finishLocked(j, nil, context.Canceled)
+			n++
+		}
+	}
+	if j := p.running[session]; j != nil {
+		j.cancelFn()
+		n++
+	}
+	return n
+}
+
+// Close cancels all queued and running jobs, stops the workers and waits
+// for them to exit. Submit fails afterwards.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	for s, q := range p.queues {
+		delete(p.queues, s)
+		for _, j := range q {
+			j.cancelFn()
+			p.finishLocked(j, nil, context.Canceled)
+		}
+	}
+	p.ring, p.next = nil, 0
+	for _, j := range p.running {
+		j.cancelFn()
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// RunTasks executes a batch of independent tasks, fanning them out over
+// the pool's compute lane, and returns when all are done. It implements
+// cluster.TaskRunner, so CLARA's per-sample PAM runs share the pool's
+// worker budget. Tasks that cannot grab a compute slot run on the
+// caller's goroutine (caller-runs), which guarantees progress even when
+// every slot is busy — nested fan-out from inside a job can never
+// deadlock.
+func (p *Pool) RunTasks(tasks []func()) {
+	var wg sync.WaitGroup
+	for _, task := range tasks {
+		select {
+		case p.compute <- struct{}{}:
+			wg.Add(1)
+			go func(task func()) {
+				defer func() {
+					<-p.compute
+					wg.Done()
+				}()
+				task()
+			}(task)
+		default:
+			task()
+		}
+	}
+	wg.Wait()
+}
+
+// --- internals (all require p.mu unless noted) ---
+
+// worker is one dispatch loop: pick the next fair job, run it, publish
+// the outcome, repeat.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	p.mu.Lock()
+	for {
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		j := p.popLocked()
+		if j == nil {
+			p.cond.Wait()
+			continue
+		}
+		j.status = StatusRunning
+		j.started = time.Now()
+		p.running[j.session] = j
+		p.mu.Unlock()
+
+		res, err := runJob(j)
+
+		p.mu.Lock()
+		delete(p.running, j.session)
+		p.finishLocked(j, res, err)
+		// Finishing may unblock the session's next queued job.
+		p.cond.Broadcast()
+	}
+}
+
+// runJob executes the job function, converting panics into errors so a
+// bad build can never take a worker down. Runs without the pool lock.
+func runJob(j *Job) (res any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("jobs: job %s (%s) panicked: %v", j.id, j.kind, r)
+		}
+	}()
+	return j.fn(j.ctx, j)
+}
+
+// popLocked dequeues the next dispatchable job: scan the ring from the
+// cursor, skip sessions that already have a running job (per-session
+// serialization), take the FIFO head of the first eligible session and
+// advance the cursor past it (round-robin).
+func (p *Pool) popLocked() *Job {
+	n := len(p.ring)
+	for i := 0; i < n; i++ {
+		pos := (p.next + i) % n
+		s := p.ring[pos]
+		if p.running[s] != nil {
+			continue
+		}
+		q := p.queues[s]
+		j := q[0]
+		if len(q) == 1 {
+			delete(p.queues, s)
+			p.ring = append(p.ring[:pos], p.ring[pos+1:]...)
+			if len(p.ring) == 0 {
+				p.next = 0
+			} else {
+				p.next = pos % len(p.ring)
+			}
+		} else {
+			p.queues[s] = q[1:]
+			p.next = (pos + 1) % n
+		}
+		return j
+	}
+	return nil
+}
+
+// dropFromRing removes a session from the round-robin ring, keeping the
+// cursor pointed at the same next session.
+func (p *Pool) dropFromRing(session string) {
+	for i, s := range p.ring {
+		if s != session {
+			continue
+		}
+		p.ring = append(p.ring[:i], p.ring[i+1:]...)
+		if i < p.next {
+			p.next--
+		}
+		if len(p.ring) == 0 {
+			p.next = 0
+		} else {
+			p.next %= len(p.ring)
+		}
+		return
+	}
+}
+
+// cancel implements Job.Cancel.
+func (p *Pool) cancel(j *Job) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch j.status {
+	case StatusQueued:
+		q := p.queues[j.session]
+		for i, qj := range q {
+			if qj != j {
+				continue
+			}
+			if len(q) == 1 {
+				delete(p.queues, j.session)
+				p.dropFromRing(j.session)
+			} else {
+				p.queues[j.session] = append(append([]*Job(nil), q[:i]...), q[i+1:]...)
+			}
+			break
+		}
+		j.cancelFn()
+		p.finishLocked(j, nil, context.Canceled)
+		return true
+	case StatusRunning:
+		j.cancelFn()
+		return true
+	default:
+		return false
+	}
+}
+
+// finishLocked moves a job to its terminal state and publishes the
+// outcome: Done on success, Cancelled when its context was cancelled,
+// Failed otherwise.
+func (p *Pool) finishLocked(j *Job, res any, err error) {
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.status = StatusDone
+		j.result = res
+		j.progress = 1
+	case errors.Is(err, context.Canceled) || j.ctx.Err() != nil:
+		j.status = StatusCancelled
+		j.err = err
+	default:
+		j.status = StatusFailed
+		j.err = err
+	}
+	close(j.done)
+	j.cancelFn() // release the context's resources in every path
+	j.fn = nil   // the closure can pin tables and explorers; drop it
+	p.doneLog = append(p.doneLog, j.id)
+	for len(p.doneLog) > retainFinished {
+		delete(p.jobs, p.doneLog[0])
+		p.doneLog = p.doneLog[1:]
+	}
+}

@@ -1,0 +1,117 @@
+package server
+
+// The asynchronous job API — the HTTP face of internal/jobs:
+//
+//	POST   /api/sessions/{id}/jobs          submit a zoom/select/project build; 202 + job info
+//	GET    /api/sessions/{id}/jobs          list the session's known jobs
+//	GET    /api/sessions/{id}/jobs/{jobID}  status, progress fraction, metadata
+//	DELETE /api/sessions/{id}/jobs/{jobID}  cancel (queued: dropped; running: context cancelled)
+//
+// The synchronous navigation endpoints (/select, /zoom, /project) are
+// submit-and-wait over the same scheduler (runAction), so async and sync
+// requests share one execution path, one per-session FIFO and one
+// fairness policy.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/jobs"
+	"repro/internal/session"
+)
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var act session.Action
+	if err := json.NewDecoder(r.Body).Decode(&act); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
+		return
+	}
+	job, err := s.submit(sess, act)
+	if err != nil {
+		writeErr(w, submitStatus(s, sess, err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Info())
+}
+
+// submit schedules the action through the manager, so a session closed
+// between lookup and submission is refused instead of silently keeping
+// a worker busy for a dead session.
+func (s *Server) submit(sess *session.Session, act session.Action) (*jobs.Job, error) {
+	return s.manager.Submit(sess.ID, act)
+}
+
+// submitStatus maps a submit error to 404 when the session vanished
+// mid-request, 400 otherwise (bad action).
+func submitStatus(s *Server, sess *session.Session, err error) int {
+	if _, gerr := s.manager.Get(sess.ID); gerr != nil {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+// sessionJob resolves {jobID} within {id}, 404ing jobs that do not exist
+// or belong to another session.
+func (s *Server) sessionJob(w http.ResponseWriter, r *http.Request) *jobs.Job {
+	sess := s.session(w, r)
+	if sess == nil {
+		return nil
+	}
+	jobID := r.PathValue("jobID")
+	job, ok := s.manager.Pool().Get(jobID)
+	if !ok || job.Session() != sess.ID {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no job %q in session %s", jobID, sess.ID))
+		return nil
+	}
+	return job
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if job := s.sessionJob(w, r); job != nil {
+		writeJSON(w, http.StatusOK, job.Info())
+	}
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	job := s.sessionJob(w, r)
+	if job == nil {
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusOK, job.Info())
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	infos := []jobs.Info{}
+	for _, j := range s.manager.Pool().SessionJobs(sess.ID) {
+		infos = append(infos, j.Info())
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// runAction is the synchronous navigation path: submit the action to the
+// scheduler and wait for it, so synchronous and asynchronous requests
+// are scheduled identically. If the client goes away mid-build the job
+// is cancelled rather than left computing for nobody.
+func (s *Server) runAction(w http.ResponseWriter, r *http.Request, sess *session.Session, act session.Action) {
+	job, err := s.submit(sess, act)
+	if err != nil {
+		writeErr(w, submitStatus(s, sess, err), err)
+		return
+	}
+	if err := job.Wait(r.Context()); err != nil {
+		job.Cancel()
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.stateJSON(sess))
+}

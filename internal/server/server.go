@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/jobs"
 	"repro/internal/render"
 	"repro/internal/session"
 	"repro/internal/store"
@@ -49,6 +50,10 @@ func New(datasets map[string]*store.Table, opts core.Options) *Server {
 	s.mux.HandleFunc("POST /api/sessions/{id}/zoom", s.handleZoom)
 	s.mux.HandleFunc("POST /api/sessions/{id}/project", s.handleProject)
 	s.mux.HandleFunc("POST /api/sessions/{id}/rollback", s.handleRollback)
+	s.mux.HandleFunc("POST /api/sessions/{id}/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /api/sessions/{id}/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /api/sessions/{id}/jobs/{jobID}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /api/sessions/{id}/jobs/{jobID}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /api/sessions/{id}/highlight", s.handleHighlight)
 	s.mux.HandleFunc("GET /api/sessions/{id}/scatter", s.handleScatter)
 	s.mux.HandleFunc("POST /api/sessions/{id}/annotate", s.handleAnnotate)
@@ -60,6 +65,11 @@ func New(datasets map[string]*store.Table, opts core.Options) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Manager exposes the session registry (and through it the job
+// scheduler) so embedders can start the idle evictor or shut the
+// scheduler down.
+func (s *Server) Manager() *Manager { return s.manager }
 
 // --- wire types ---
 
@@ -101,6 +111,9 @@ type stateJSON struct {
 	Map       *mapJSON              `json:"map,omitempty"`
 	Depth     int                   `json:"historyDepth"`
 	Cluster   session.ClusterConfig `json:"cluster"`
+	// Jobs lists the session's in-flight (queued or running)
+	// asynchronous builds, so clients polling state see what is coming.
+	Jobs []jobs.Info `json:"jobs,omitempty"`
 }
 
 // clusterOptionsJSON is the optional clustering block of the open
@@ -197,6 +210,14 @@ func (s *Server) stateJSON(sess *session.Session) stateJSON {
 		}
 		return nil
 	})
+	for _, j := range s.manager.Pool().SessionJobs(sess.ID) {
+		// One snapshot per job: checking Status and then calling Info
+		// separately could race a job into the list with a terminal
+		// status.
+		if info := j.Info(); !info.Status.Terminal() {
+			out.Jobs = append(out.Jobs, info)
+		}
+	}
 	return out
 }
 
@@ -278,20 +299,14 @@ func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
-	s.themeAction(w, r, func(e *core.Explorer, id int) error {
-		_, err := e.SelectTheme(id)
-		return err
-	})
+	s.themeAction(w, r, session.ActionSelect)
 }
 
 func (s *Server) handleProject(w http.ResponseWriter, r *http.Request) {
-	s.themeAction(w, r, func(e *core.Explorer, id int) error {
-		_, err := e.Project(id)
-		return err
-	})
+	s.themeAction(w, r, session.ActionProject)
 }
 
-func (s *Server) themeAction(w http.ResponseWriter, r *http.Request, act func(*core.Explorer, int) error) {
+func (s *Server) themeAction(w http.ResponseWriter, r *http.Request, kind string) {
 	sess := s.session(w, r)
 	if sess == nil {
 		return
@@ -303,11 +318,7 @@ func (s *Server) themeAction(w http.ResponseWriter, r *http.Request, act func(*c
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := sess.Do(func(e *core.Explorer) error { return act(e, req.Theme) }); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, s.stateJSON(sess))
+	s.runAction(w, r, sess, session.Action{Kind: kind, Theme: req.Theme})
 }
 
 func (s *Server) handleZoom(w http.ResponseWriter, r *http.Request) {
@@ -322,14 +333,7 @@ func (s *Server) handleZoom(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := sess.Do(func(e *core.Explorer) error {
-		_, err := e.Zoom(req.Path...)
-		return err
-	}); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, s.stateJSON(sess))
+	s.runAction(w, r, sess, session.Action{Kind: session.ActionZoom, Path: req.Path})
 }
 
 func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,103 @@
+package session
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+)
+
+// The action kinds a job can carry — the map-building navigational
+// actions. Cheap actions (rollback, state reads, highlights) stay
+// synchronous on the session lock.
+const (
+	ActionZoom    = "zoom"
+	ActionSelect  = "select"
+	ActionProject = "project"
+)
+
+// Action describes one map-build request against a session — the wire
+// shape of POST /api/sessions/{id}/jobs. Path is used by zoom, Theme by
+// select and project.
+type Action struct {
+	Kind  string `json:"action"`
+	Path  []int  `json:"path,omitempty"`
+	Theme int    `json:"theme,omitempty"`
+}
+
+// Submit schedules the action on the manager's pool, failing when the
+// session is no longer registered. The membership check and the enqueue
+// happen under the registry lock, so Submit cannot race Close into
+// queueing work for a closed session — either the submit loses and
+// errors, or it wins and Close's CancelSession cancels the fresh job.
+// Prefer this over Session.Submit whenever a Manager is in play.
+func (m *Manager) Submit(id string, act Action) (*jobs.Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("session: no session %q", id)
+	}
+	return s.Submit(m.pool, act)
+}
+
+// Submit schedules the action as a job on the pool and returns its
+// handle immediately. Library users driving a bare Session/Pool pair
+// call it directly; servers should go through Manager.Submit, which
+// additionally closes the submit/close race. The job follows
+// core.MapBuild's three-step
+// protocol: prepare under the session lock (validation, row snapshot,
+// zoom-cache lookup — microseconds), build on the worker with the lock
+// released (the expensive clustering, reporting progress fractions and
+// honouring cancellation), then apply under the lock (one state push).
+// The pool runs one job per session at a time in submit order, which is
+// what makes the detached build safe; a rollback racing in between
+// surfaces as a "state changed" job failure, never as corrupted history.
+//
+// Jobs resolved by the zoom cache report {"cacheHit": true} in their
+// metadata and complete without rebuilding oracle, clustering or tree.
+func (s *Session) Submit(pool *jobs.Pool, act Action) (*jobs.Job, error) {
+	switch act.Kind {
+	case ActionZoom, ActionSelect, ActionProject:
+	default:
+		return nil, fmt.Errorf("session: unknown action %q (want %s, %s or %s)",
+			act.Kind, ActionZoom, ActionSelect, ActionProject)
+	}
+	return pool.Submit(s.ID, act.Kind, func(ctx context.Context, j *jobs.Job) (any, error) {
+		var build *core.MapBuild
+		if err := s.Do(func(e *core.Explorer) error {
+			var err error
+			switch act.Kind {
+			case ActionZoom:
+				build, err = e.PrepareZoom(act.Path...)
+			case ActionSelect:
+				build, err = e.PrepareSelect(act.Theme)
+			default:
+				build, err = e.PrepareProject(act.Theme)
+			}
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		if build.Cached() {
+			j.SetMeta("cacheHit", true)
+		}
+		m, err := build.Run(ctx, j.SetProgress)
+		if err != nil {
+			return nil, err
+		}
+		// A cancellation that lands after the last in-build checkpoint
+		// must still win: a cancelled job never applies its result.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := s.Do(func(e *core.Explorer) error { return e.ApplyBuild(build, m) }); err != nil {
+			return nil, err
+		}
+		// The map itself is served by the state endpoints; the job keeps
+		// only a compact summary, so the pool's retained-job window never
+		// pins whole region trees in memory.
+		return map[string]any{"k": m.K, "sampleSize": m.SampleSize, "rows": build.Rows()}, nil
+	})
+}

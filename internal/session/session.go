@@ -1,7 +1,11 @@
 // Package session implements Blaeu's session manager — the middle tier of
 // the paper's architecture (Fig. 4), where NodeJS "manages the sessions
 // and relays the maps to the clients". It provides a concurrency-safe
-// registry of exploration sessions, each wrapping one core.Explorer.
+// registry of exploration sessions, each wrapping one core.Explorer, an
+// asynchronous job scheduler (internal/jobs) that map builds are
+// submitted to so one large clustering never stalls a session's lock
+// (see Session.Submit), and a TTL sweep that evicts abandoned sessions
+// (EvictIdle / StartEvictor).
 package session
 
 import (
@@ -10,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/jobs"
 	"repro/internal/store"
 )
 
@@ -58,21 +63,41 @@ func DescribeCluster(o core.Options) ClusterConfig {
 	}
 }
 
-// Manager is a registry of sessions.
+// Manager is a registry of sessions plus the job scheduler their
+// asynchronous map builds run on.
 type Manager struct {
 	mu       sync.Mutex
 	sessions map[string]*Session
 	nextID   int
 	now      func() time.Time
+	pool     *jobs.Pool
 }
 
-// NewManager returns an empty session registry.
-func NewManager() *Manager {
-	return &Manager{sessions: make(map[string]*Session), now: time.Now}
+// NewManager returns an empty session registry whose scheduler runs one
+// job worker per CPU.
+func NewManager() *Manager { return NewManagerWorkers(0) }
+
+// NewManagerWorkers returns an empty session registry with an explicit
+// scheduler width (workers <= 0 means one per CPU).
+func NewManagerWorkers(workers int) *Manager {
+	return &Manager{
+		sessions: make(map[string]*Session),
+		now:      time.Now,
+		pool:     jobs.NewPool(workers),
+	}
 }
 
-// Open creates a session exploring the given table.
+// Pool returns the manager's job scheduler.
+func (m *Manager) Pool() *jobs.Pool { return m.pool }
+
+// Open creates a session exploring the given table. Unless the caller
+// supplied its own, the scheduler is installed as the explorer's CLARA
+// fan-out runner, so per-sample PAM runs share the server's worker
+// budget instead of spawning free goroutines.
 func (m *Manager) Open(t *store.Table, opts core.Options) (*Session, error) {
+	if opts.Runner == nil {
+		opts.Runner = m.pool
+	}
 	e, err := core.NewExplorer(t, opts)
 	if err != nil {
 		return nil, err
@@ -101,16 +126,24 @@ func (m *Manager) Get(id string) (*Session, error) {
 	return s, nil
 }
 
-// Close removes a session.
+// Close removes a session and cancels its scheduled work: queued jobs
+// are dropped and the running build's context is cancelled, so no worker
+// keeps computing for — or applies a result into — a closed session.
 func (m *Manager) Close(id string) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.sessions[id]; !ok {
+	_, ok := m.sessions[id]
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	if !ok {
 		return fmt.Errorf("session: no session %q", id)
 	}
-	delete(m.sessions, id)
+	m.pool.CancelSession(id)
 	return nil
 }
+
+// Shutdown stops the scheduler: every queued and running job is
+// cancelled and the workers are joined. Sessions remain readable.
+func (m *Manager) Shutdown() { m.pool.Close() }
 
 // List returns the open session IDs in creation order.
 func (m *Manager) List() []string {
@@ -131,23 +164,60 @@ func (m *Manager) Len() int {
 	return len(m.sessions)
 }
 
-// CloseIdle removes sessions unused for longer than maxIdle and returns
-// how many were closed.
-func (m *Manager) CloseIdle(maxIdle time.Duration) int {
+// EvictIdle removes sessions unused for longer than maxIdle and returns
+// how many were evicted — the TTL sweep that keeps abandoned explorers
+// from leaking. A session with queued or running jobs is never evicted,
+// however old its LastUsed: a client polling a long build touches only
+// the job endpoints, not the session, so in-flight work — not the
+// LastUsed bump at prepare/apply — is what marks a session active.
+// Jobs submitted in the race window between the check and the removal
+// are still cancelled on the way out.
+func (m *Manager) EvictIdle(maxIdle time.Duration) int {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	cutoff := m.now().Add(-maxIdle)
-	n := 0
+	var evicted []string
 	for id, s := range m.sessions {
 		s.mu.Lock()
 		idle := s.LastUsed.Before(cutoff)
 		s.mu.Unlock()
-		if idle {
+		if idle && m.pool.InFlight(id) == 0 {
 			delete(m.sessions, id)
-			n++
+			evicted = append(evicted, id)
 		}
 	}
-	return n
+	m.mu.Unlock()
+	for _, id := range evicted {
+		m.pool.CancelSession(id)
+	}
+	return len(evicted)
+}
+
+// CloseIdle is the original name of EvictIdle, kept as an alias.
+func (m *Manager) CloseIdle(maxIdle time.Duration) int { return m.EvictIdle(maxIdle) }
+
+// StartEvictor runs EvictIdle(maxIdle) every interval on a background
+// ticker until the returned stop function is called. Stop is
+// idempotent. Non-positive intervals are clamped to one second
+// (time.NewTicker panics below 1ns, and sub-second sweeps buy nothing).
+func (m *Manager) StartEvictor(maxIdle, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				m.EvictIdle(maxIdle)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
 }
 
 func sortStrings(s []string) {
