@@ -3,9 +3,11 @@
 
 .PHONY: build test race bench bench-smoke bench-pam vet race-jobs
 
-# The scheduler subsystem under the race detector (also a CI step).
+# The scheduler subsystem under the race detector (also a CI step),
+# plus extra iterations of the backpressure overload stress.
 race-jobs:
 	go test -race ./internal/jobs/... ./internal/session/...
+	go test -race -count=3 -run 'Overload' ./internal/jobs/...
 
 build:
 	go build ./...
@@ -27,10 +29,12 @@ bench:
 bench-smoke:
 	go test -bench=. -benchtime=1x -run '^$$' .
 
-# Regenerate BENCH_pam.json, the tracked PAM perf trajectory
-# (oracle strategies × seeding schemes), and append a per-commit
-# snapshot under bench_history/ so the trajectory is graphable across
-# commits, not just diffable.
+# Regenerate BENCH_pam.json, the tracked perf trajectory: the PAM
+# matrix (oracle strategies × seeding schemes) plus the scheduler
+# overload section (p50 submit-to-apply latency with and without
+# deadline shedding). Appends a per-commit snapshot under
+# bench_history/ so the trajectory is graphable across commits, not
+# just diffable.
 bench-pam:
 	go run ./cmd/blaeu-bench -pam-json BENCH_pam.json
 	mkdir -p bench_history

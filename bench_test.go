@@ -15,12 +15,14 @@ import (
 	"math/rand"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/jobs"
 	"repro/internal/prep"
 	"repro/internal/stats"
 	"repro/internal/store"
@@ -422,5 +424,40 @@ func BenchmarkZoomCached(b *testing.B) {
 	b.StopTimer()
 	if hits, _ := e.MapCacheStats(); hits < b.N {
 		b.Fatalf("cache hits = %d over %d re-zooms — the cache is not being used", hits, b.N)
+	}
+}
+
+// BenchmarkSchedulerOverload drives the job scheduler past saturation —
+// more tenants × sessions × jobs than the workers can absorb — and
+// reports the p50 submit-to-apply latency of the jobs that completed,
+// with and without deadline-based shedding. Shedding drops queued work
+// whose deadline lapsed before dispatch, so the surviving jobs' latency
+// distribution tightens: the number to watch is the p50 gap between the
+// two sub-benchmarks. The episode itself (jobs.RunOverloadEpisode,
+// default shape) is shared with `make bench-pam`, which records the
+// same measurement into BENCH_pam.json's scheduler section.
+func BenchmarkSchedulerOverload(b *testing.B) {
+	for _, v := range []struct {
+		name     string
+		deadline time.Duration // 0 = no shedding
+	}{
+		{"no-shed", 0},
+		{"shed-10ms", 10 * time.Millisecond},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			var p50Sum, shedSum, doneSum float64
+			for i := 0; i < b.N; i++ {
+				res := jobs.RunOverloadEpisode(jobs.DefaultOverloadConfig(v.deadline))
+				if res.Completed == 0 {
+					b.Fatal("no job completed")
+				}
+				p50Sum += float64(res.P50.Microseconds()) / 1e3
+				shedSum += float64(res.Shed)
+				doneSum += float64(res.Completed)
+			}
+			b.ReportMetric(p50Sum/float64(b.N), "p50-ms")
+			b.ReportMetric(shedSum/float64(b.N), "shed/op")
+			b.ReportMetric(doneSum/float64(b.N), "done/op")
+		})
 	}
 }

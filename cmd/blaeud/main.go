@@ -4,9 +4,18 @@
 // files given on the command line, and serves the interactive client and
 // JSON API on the given address.
 //
+// The job scheduler ships with backpressure on: queue caps answer 429
+// with Retry-After once reached (tunable with -max-queued /
+// -max-queued-per-session, 0 disables), sessions opened with a "tenant"
+// label share weighted-round-robin dispatch (-tenant-weights) and
+// optional in-flight quotas (-tenant-max-in-flight), and GET
+// /api/jobs/stats exposes the scheduler counters.
+//
 // Usage:
 //
-//	blaeud [-addr :8080] [-seed 1] [-sample 2000] [-lofar-n 200000] [-session-ttl 1h] [file.csv ...]
+//	blaeud [-addr :8080] [-seed 1] [-sample 2000] [-lofar-n 200000] [-session-ttl 1h]
+//	       [-max-queued 1024] [-max-queued-per-session 16]
+//	       [-tenant-weights gold=4,free=1] [-tenant-max-in-flight 0] [file.csv ...]
 package main
 
 import (
@@ -16,14 +25,38 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/jobs"
 	"repro/internal/server"
+	"repro/internal/session"
 	"repro/internal/store"
 )
+
+// parseWeights parses a "name=weight,name=weight" flag into a tenant
+// weight map.
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad tenant weight %q (want name=weight)", pair)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad tenant weight %q: weight must be a positive integer", pair)
+		}
+		out[name] = w
+	}
+	return out, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -32,7 +65,16 @@ func main() {
 	lofarN := flag.Int("lofar-n", 200000, "rows in the synthetic LOFAR catalogue (0 disables)")
 	noBuiltin := flag.Bool("no-builtin", false, "do not load the built-in demo datasets")
 	sessionTTL := flag.Duration("session-ttl", time.Hour, "evict sessions idle for longer than this (0 disables)")
+	maxQueued := flag.Int("max-queued", 1024, "total queued-job cap; submissions beyond it get 429 (0 = unbounded)")
+	sessionQueue := flag.Int("max-queued-per-session", 16, "per-session queued-job cap; beyond it 429 (0 = unbounded)")
+	tenantWeights := flag.String("tenant-weights", "", "weighted-round-robin weights per tenant, e.g. gold=4,free=1 (unlisted tenants weigh 1)")
+	tenantInFlight := flag.Int("tenant-max-in-flight", 0, "max concurrently running jobs per tenant (0 = unbounded)")
 	flag.Parse()
+
+	weights, err := parseWeights(*tenantWeights)
+	if err != nil {
+		log.Fatalf("-tenant-weights: %v", err)
+	}
 
 	datasets := make(map[string]*store.Table)
 	if !*noBuiltin {
@@ -58,14 +100,20 @@ func main() {
 		os.Exit(1)
 	}
 
-	srv := server.New(datasets, core.Options{Seed: *seed, SampleSize: *sample})
+	manager := session.NewManagerConfig(jobs.Config{
+		MaxQueued:           *maxQueued,
+		MaxQueuedPerSession: *sessionQueue,
+		Weights:             weights,
+		DefaultMaxInFlight:  *tenantInFlight,
+	})
+	srv := server.NewWith(datasets, core.Options{Seed: *seed, SampleSize: *sample}, manager)
 	if *sessionTTL > 0 {
 		// Sweep at a quarter of the TTL: abandoned sessions (and their
 		// scheduled jobs) are reclaimed within 1.25 × TTL.
 		stop := srv.Manager().StartEvictor(*sessionTTL, *sessionTTL/4)
 		defer stop()
 	}
-	log.Printf("Blaeu serving %d datasets on %s (%d job workers)",
-		len(datasets), *addr, srv.Manager().Pool().Workers())
+	log.Printf("Blaeu serving %d datasets on %s (%d job workers, queue caps %d total / %d per session)",
+		len(datasets), *addr, srv.Manager().Pool().Workers(), *maxQueued, *sessionQueue)
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

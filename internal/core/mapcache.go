@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"sort"
 )
 
 // DefaultMapCacheSize is the default capacity (entries) of the
@@ -17,7 +18,7 @@ const DefaultMapCacheSize = 16
 // keying rule of the zoom cache. The session dimension of the key is
 // implicit: every Explorer owns its own cache.
 type mapKey struct {
-	rows   uint64 // FNV-1a over the selection's row indices, in order
+	rows   uint64 // FNV-1a over the selection's row indices, canonical order
 	n      int    // row count, a cheap collision guard
 	theme  int    // Theme.ID (themes are immutable once detected)
 	config uint64 // fingerprint of the build-relevant Options
@@ -95,7 +96,18 @@ func cloneRegion(r *Region) *Region {
 }
 
 // fingerprintRows hashes a selection's row indices (FNV-1a, 64 bit).
+// The fingerprint is over the canonical (ascending) order, so the same
+// set of rows produced in a different order — a filter evaluated in
+// another sequence, a future merge of partial selections — still hits
+// the cache. Selections are ascending in practice (region rows preserve
+// the base-table order), so the common case is a pure scan; only
+// out-of-order input pays for a sorted copy.
 func fingerprintRows(rows []int) uint64 {
+	if !sort.IntsAreSorted(rows) {
+		sorted := append([]int(nil), rows...)
+		sort.Ints(sorted)
+		rows = sorted
+	}
 	h := fnv.New64a()
 	var buf [8]byte
 	for _, r := range rows {

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFingerprintRowsOrderInsensitive is the regression test for the
+// cache-key canonicalization bugfix: the same row set must fingerprint
+// identically however it is ordered, and distinct sets must (with
+// overwhelming probability) differ.
+func TestFingerprintRowsOrderInsensitive(t *testing.T) {
+	rows := []int{3, 1, 4, 1590, 92, 65, 35}
+	shuffled := append([]int(nil), rows...)
+	rand.New(rand.NewSource(7)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	if fingerprintRows(rows) != fingerprintRows(shuffled) {
+		t.Errorf("same set, different order: fingerprints differ (%x vs %x)",
+			fingerprintRows(rows), fingerprintRows(shuffled))
+	}
+	// Canonicalization must not collapse genuinely different sets.
+	other := append([]int(nil), rows...)
+	other[0] = 5
+	if fingerprintRows(rows) == fingerprintRows(other) {
+		t.Error("different sets share a fingerprint")
+	}
+	// Sorted input must not be mutated or copied into a different hash.
+	asc := []int{1, 2, 3, 4}
+	if fingerprintRows(asc) != fingerprintRows([]int{4, 3, 2, 1}) {
+		t.Error("reversed set misses the canonical fingerprint")
+	}
+	if asc[0] != 1 || asc[3] != 4 {
+		t.Error("fingerprintRows mutated its input")
+	}
+}
+
+// TestMapCacheHitAcrossRowOrder: a map cached under one ordering of the
+// selection must be served for the same selection in any other ordering
+// — the end-to-end shape of the fingerprint bugfix.
+func TestMapCacheHitAcrossRowOrder(t *testing.T) {
+	c := newMapCache(4)
+	rows := []int{9, 4, 7, 2}
+	key := func(r []int) mapKey {
+		return mapKey{rows: fingerprintRows(r), n: len(r), theme: 1, config: 42}
+	}
+	m := &Map{K: 2, Root: &Region{}}
+	c.put(key(rows), m)
+	if got := c.get(key([]int{2, 4, 7, 9})); got != m {
+		t.Fatal("same selection in ascending order missed the cache")
+	}
+	if got := c.get(key([]int{7, 9, 2, 4})); got != m {
+		t.Fatal("same selection in scrambled order missed the cache")
+	}
+	if hits, misses := c.hits, c.misses; hits != 2 || misses != 0 {
+		t.Errorf("hits/misses = %d/%d, want 2/0", hits, misses)
+	}
+	if got := c.get(key([]int{2, 4, 7, 8})); got != nil {
+		t.Error("different selection hit the cache")
+	}
+}

@@ -1,7 +1,7 @@
 // Package jobs implements the asynchronous job scheduler of the session
-// tier: a bounded worker pool with per-session FIFO fairness, typed job
-// handles carrying status, progress and results, and cooperative
-// cancellation through context.Context.
+// tier: a bounded worker pool with weighted fairness and admission
+// control, typed job handles carrying status, progress and results, and
+// cooperative cancellation through context.Context.
 //
 // The pool exists to keep the HTTP tier responsive. Map builds (theme
 // selection, zoom, projection) are submitted as jobs and run on pool
@@ -9,16 +9,33 @@
 // lock is held only for the cheap prepare and apply steps around the
 // build (see internal/session.Session.Submit). The same motivation as
 // Polynesia's isolated analytical engines: interactive traffic must not
-// queue behind heavy analytics.
+// queue behind heavy analytics. At scale, admission control and
+// workload isolation are part of the engine (the Cambridge report's
+// multi-tenancy argument), so the scheduler also owns backpressure.
 //
 // Scheduling guarantees:
 //
 //   - jobs of one session run strictly in submit order, one at a time
 //     (per-session serialization — what makes the prepare/apply protocol
 //     of core.MapBuild safe without holding the session lock);
-//   - across sessions, dispatch is round-robin over the sessions that
-//     have queued work, so one busy session cannot starve the rest;
+//   - sessions roll up to tenants (Config.Tenant; identity by default)
+//     and dispatch across tenants is weighted round-robin: a tenant of
+//     weight w is offered up to w consecutive dispatches per round
+//     (Config.Weights), so under contention it completes ~w× the work
+//     of a weight-1 tenant and nobody starves;
+//   - within a tenant, dispatch is round-robin over its sessions;
+//   - a tenant never runs more than its in-flight quota concurrently
+//     (Config.MaxInFlight);
 //   - at most Workers jobs run at once.
+//
+// Backpressure: Submit fails with ErrQueueFull once a queue cap —
+// per-session (Config.MaxQueuedPerSession) or pool-wide
+// (Config.MaxQueued) — is reached, instead of queueing unboundedly; the
+// HTTP tier maps that to 429 with Retry-After. Jobs may carry a queue
+// deadline (SubmitOptions.Deadline): a job still queued past it is shed
+// by the dispatcher (StatusShed, never occupying a worker), which keeps
+// sync submit-and-wait requests from computing maps nobody is waiting
+// for. Pool.Stats exposes queue depths and the shed/rejected counters.
 //
 // The pool also doubles as a compute lane for data-parallel fan-out
 // inside a job (RunTasks): CLARA's per-sample PAM runs are scheduled
@@ -33,7 +50,8 @@ import (
 
 // Status is a job's lifecycle state. Transitions are strictly
 // queued → running → {done, failed, cancelled}, except that a queued job
-// cancelled before dispatch goes straight to cancelled.
+// cancelled before dispatch goes straight to cancelled, and a queued job
+// whose deadline expires goes straight to shed.
 type Status string
 
 // The job states.
@@ -43,11 +61,15 @@ const (
 	StatusDone      Status = "done"
 	StatusFailed    Status = "failed"
 	StatusCancelled Status = "cancelled"
+	// StatusShed marks a job dropped by deadline-based load shedding: its
+	// queue deadline expired before a worker picked it up. Shed jobs
+	// never run; Wait returns context.DeadlineExceeded.
+	StatusShed Status = "shed"
 )
 
 // Terminal reports whether the status is final.
 func (s Status) Terminal() bool {
-	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled || s == StatusShed
 }
 
 // Func is the work a job performs. ctx is cancelled when the job is
@@ -64,11 +86,13 @@ type Job struct {
 	pool    *Pool
 	id      string
 	session string
+	tenant  string
 	kind    string
 	fn      Func
 
 	ctx      context.Context
 	cancelFn context.CancelFunc
+	deadline time.Time
 	done     chan struct{}
 
 	// Guarded by pool.mu.
@@ -85,12 +109,20 @@ type Job struct {
 // ID returns the pool-unique job identifier.
 func (j *Job) ID() string { return j.id }
 
-// Session returns the fairness/serialization key the job was submitted
-// under (the session ID at the HTTP tier).
+// Session returns the serialization key the job was submitted under
+// (the session ID at the HTTP tier).
 func (j *Job) Session() string { return j.session }
+
+// Tenant returns the fairness/quota key the job is accounted under —
+// the session itself unless the pool was configured with a tenant hook.
+func (j *Job) Tenant() string { return j.tenant }
 
 // Kind names the kind of work ("zoom", "select", "project", ...).
 func (j *Job) Kind() string { return j.kind }
+
+// Deadline returns the job's queue deadline (zero when none): the
+// instant past which the dispatcher sheds the job instead of running it.
+func (j *Job) Deadline() time.Time { return j.deadline }
 
 // Status returns the current lifecycle state.
 func (j *Job) Status() Status {
@@ -136,7 +168,8 @@ func (j *Job) SetMeta(key string, value any) {
 func (j *Job) Done() <-chan struct{} { return j.done }
 
 // Err returns the job's error: nil while in flight or after success, the
-// Func error after failure, and a context error after cancellation.
+// Func error after failure, a context error after cancellation, and
+// context.DeadlineExceeded after deadline shedding.
 func (j *Job) Err() error {
 	j.pool.mu.Lock()
 	defer j.pool.mu.Unlock()
@@ -171,10 +204,11 @@ func (j *Job) Wait(ctx context.Context) error {
 // Info is the wire-shaped snapshot of a job, returned by the job status
 // endpoints and embedded in session state responses. Timestamps are
 // RFC 3339 with nanoseconds; StartedAt/FinishedAt are empty until the
-// job reaches the corresponding state.
+// job reaches the corresponding state, Deadline until one is set.
 type Info struct {
 	ID         string         `json:"id"`
 	Session    string         `json:"session"`
+	Tenant     string         `json:"tenant,omitempty"`
 	Kind       string         `json:"kind"`
 	Status     Status         `json:"status"`
 	Progress   float64        `json:"progress"`
@@ -183,6 +217,7 @@ type Info struct {
 	CreatedAt  string         `json:"createdAt,omitempty"`
 	StartedAt  string         `json:"startedAt,omitempty"`
 	FinishedAt string         `json:"finishedAt,omitempty"`
+	Deadline   string         `json:"deadline,omitempty"`
 }
 
 // Info snapshots the job under the pool lock.
@@ -204,6 +239,10 @@ func (j *Job) Info() Info {
 		CreatedAt:  stamp(j.created),
 		StartedAt:  stamp(j.started),
 		FinishedAt: stamp(j.finished),
+		Deadline:   stamp(j.deadline),
+	}
+	if j.tenant != j.session {
+		out.Tenant = j.tenant
 	}
 	if j.err != nil {
 		out.Error = j.err.Error()

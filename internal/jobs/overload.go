@@ -1,0 +1,101 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// OverloadConfig shapes one synthetic scheduler-overload episode for
+// RunOverloadEpisode: Sessions × PerSession jobs of JobCost wall time
+// each are slammed onto a Workers-wide pool (sessions spread over four
+// tenants), far more work than the workers can absorb. Deadline, when
+// non-zero, gives every job that queue deadline so the dispatcher sheds
+// the backlog.
+type OverloadConfig struct {
+	Workers    int
+	Sessions   int
+	PerSession int
+	JobCost    time.Duration
+	Deadline   time.Duration // 0 = no shedding
+}
+
+// DefaultOverloadConfig is the episode shape shared by
+// BenchmarkSchedulerOverload and the scheduler section of BENCH_pam.json
+// (make bench-pam), so the recorded trajectory and the benchmark measure
+// the same workload.
+func DefaultOverloadConfig(deadline time.Duration) OverloadConfig {
+	return OverloadConfig{
+		Workers:    2,
+		Sessions:   8,
+		PerSession: 40,
+		JobCost:    200 * time.Microsecond,
+		Deadline:   deadline,
+	}
+}
+
+// OverloadResult summarizes an episode: how many jobs were submitted,
+// how many completed or were shed, and the p50 submit-to-apply latency
+// of the completed ones — the number deadline shedding exists to
+// protect.
+type OverloadResult struct {
+	Submitted int
+	Completed int
+	Shed      int
+	P50       time.Duration
+}
+
+// RunOverloadEpisode saturates a fresh pool per cfg and reports the
+// outcome. It is the measurement core behind BenchmarkSchedulerOverload
+// and `blaeu-bench -pam-json`; it lives with the scheduler so the two
+// stay one workload.
+func RunOverloadEpisode(cfg OverloadConfig) OverloadResult {
+	p := NewPoolConfig(Config{
+		Workers: cfg.Workers,
+		Tenant:  func(session string) string { return session[:2] },
+	})
+	var mu sync.Mutex
+	var latencies []time.Duration
+	var wg sync.WaitGroup
+	for s := 0; s < cfg.Sessions; s++ {
+		session := fmt.Sprintf("t%d-s%d", s%4, s)
+		for k := 0; k < cfg.PerSession; k++ {
+			submitted := time.Now()
+			opts := SubmitOptions{}
+			if cfg.Deadline > 0 {
+				opts.Deadline = submitted.Add(cfg.Deadline)
+			}
+			j, err := p.SubmitOpts(session, "work", func(ctx context.Context, j *Job) (any, error) {
+				time.Sleep(cfg.JobCost)
+				return nil, ctx.Err()
+			}, opts)
+			if err != nil {
+				continue // unbounded queues: cannot happen
+			}
+			wg.Add(1)
+			go func(j *Job, submitted time.Time) {
+				defer wg.Done()
+				if j.Wait(context.Background()) == nil {
+					mu.Lock()
+					latencies = append(latencies, time.Since(submitted))
+					mu.Unlock()
+				}
+			}(j, submitted)
+		}
+	}
+	wg.Wait()
+	st := p.Stats()
+	p.Close()
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	res := OverloadResult{
+		Submitted: cfg.Sessions * cfg.PerSession,
+		Completed: len(latencies),
+		Shed:      int(st.Shed),
+	}
+	if len(latencies) > 0 {
+		res.P50 = latencies[len(latencies)/2]
+	}
+	return res
+}

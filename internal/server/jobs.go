@@ -6,20 +6,32 @@ package server
 //	GET    /api/sessions/{id}/jobs          list the session's known jobs
 //	GET    /api/sessions/{id}/jobs/{jobID}  status, progress fraction, metadata
 //	DELETE /api/sessions/{id}/jobs/{jobID}  cancel (queued: dropped; running: context cancelled)
+//	GET    /api/jobs/stats                  scheduler snapshot (queue depths, per-tenant counters)
 //
 // The synchronous navigation endpoints (/select, /zoom, /project) are
 // submit-and-wait over the same scheduler (runAction), so async and sync
 // requests share one execution path, one per-session FIFO and one
-// fairness policy.
+// fairness policy — including backpressure: when a queue cap is reached
+// the scheduler refuses the submission and both paths answer 429 Too
+// Many Requests with a Retry-After header instead of queueing
+// unboundedly. Submissions may carry {"deadlineMs": N}; sync requests
+// inherit their deadline from the request context, so a client that
+// gave up sheds its queued build instead of computing a map for nobody.
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 
 	"repro/internal/jobs"
 	"repro/internal/session"
 )
+
+// retryAfterSeconds is the Retry-After hint sent with 429 responses. The
+// queue drains at worker speed; one second is long enough to shed a
+// burst and short enough to keep interactive clients responsive.
+const retryAfterSeconds = "1"
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	sess := s.session(w, r)
@@ -33,7 +45,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.submit(sess, act)
 	if err != nil {
-		writeErr(w, submitStatus(s, sess, err), err)
+		s.writeSubmitErr(w, sess, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.Info())
@@ -46,13 +58,20 @@ func (s *Server) submit(sess *session.Session, act session.Action) (*jobs.Job, e
 	return s.manager.Submit(sess.ID, act)
 }
 
-// submitStatus maps a submit error to 404 when the session vanished
-// mid-request, 400 otherwise (bad action).
-func submitStatus(s *Server, sess *session.Session, err error) int {
-	if _, gerr := s.manager.Get(sess.ID); gerr != nil {
-		return http.StatusNotFound
+// writeSubmitErr maps a submit error onto the wire: 429 with Retry-After
+// when the scheduler refused for backpressure (a queue cap was reached),
+// 404 when the session vanished mid-request, 400 otherwise (bad action).
+func (s *Server) writeSubmitErr(w http.ResponseWriter, sess *session.Session, err error) {
+	if errors.Is(err, jobs.ErrQueueFull) {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		writeErr(w, http.StatusTooManyRequests, err)
+		return
 	}
-	return http.StatusBadRequest
+	if _, gerr := s.manager.Get(sess.ID); gerr != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeErr(w, http.StatusBadRequest, err)
 }
 
 // sessionJob resolves {jobID} within {id}, 404ing jobs that do not exist
@@ -77,6 +96,11 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleJobCancel cancels a job. DELETE is idempotent: cancelling a job
+// that is already terminal (done, failed, cancelled or shed) is a no-op
+// answered 200 with the job's unchanged final status, so clients can
+// retry a cancel — or race one against completion — without special
+// cases.
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	job := s.sessionJob(w, r)
 	if job == nil {
@@ -98,19 +122,39 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, infos)
 }
 
+// handleJobStats serves the scheduler snapshot: queue depths, running
+// jobs, configured caps, shed/rejected counters and the per-tenant
+// breakdown — the observability face of the backpressure layer.
+func (s *Server) handleJobStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.manager.Pool().Stats())
+}
+
 // runAction is the synchronous navigation path: submit the action to the
 // scheduler and wait for it, so synchronous and asynchronous requests
-// are scheduled identically. If the client goes away mid-build the job
-// is cancelled rather than left computing for nobody.
+// are scheduled identically. The request context's deadline becomes the
+// job's queue deadline — a request that would time out while its build
+// is still queued is shed instead of computed — and if the client goes
+// away mid-build the job is cancelled rather than left computing for
+// nobody.
 func (s *Server) runAction(w http.ResponseWriter, r *http.Request, sess *session.Session, act session.Action) {
+	if dl, ok := r.Context().Deadline(); ok && act.Deadline.IsZero() {
+		act.Deadline = dl
+	}
 	job, err := s.submit(sess, act)
 	if err != nil {
-		writeErr(w, submitStatus(s, sess, err), err)
+		s.writeSubmitErr(w, sess, err)
 		return
 	}
 	if err := job.Wait(r.Context()); err != nil {
 		job.Cancel()
-		writeErr(w, http.StatusBadRequest, err)
+		status := http.StatusBadRequest
+		if job.Status() == jobs.StatusShed {
+			// The scheduler shed the queued build past its deadline:
+			// overload, not a bad request.
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			status = http.StatusServiceUnavailable
+		}
+		writeErr(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.stateJSON(sess))

@@ -1,14 +1,18 @@
 package server
 
 import (
+	"encoding/json"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/jobs"
+	"repro/internal/session"
 	"repro/internal/store"
 )
 
@@ -20,7 +24,7 @@ func pollJob(t *testing.T, base, jobID string) map[string]any {
 	for {
 		info := doJSON(t, "GET", base+"/jobs/"+jobID, nil, http.StatusOK)
 		switch info["status"] {
-		case "done", "failed", "cancelled":
+		case "done", "failed", "cancelled", "shed":
 			return info
 		}
 		if time.Now().After(deadline) {
@@ -41,7 +45,7 @@ func pollJobStatus(t *testing.T, base, jobID, want string) map[string]any {
 		if status == want {
 			return info
 		}
-		if status == "done" || status == "failed" || status == "cancelled" {
+		if status == "done" || status == "failed" || status == "cancelled" || status == "shed" {
 			t.Fatalf("job %s reached %q while waiting for %q: %v", jobID, status, want, info)
 		}
 		if time.Now().After(deadline) {
@@ -124,16 +128,23 @@ func TestJobsAreSessionScoped(t *testing.T) {
 
 // slowServer serves one big dataset with a full-size sampling budget, so
 // map builds take seconds — long enough to observe and cancel
-// mid-flight without sleeping on magic durations.
-func slowServer(t *testing.T) *httptest.Server {
+// mid-flight without sleeping on magic durations. cfg configures the
+// scheduler (zero value = no backpressure limits).
+func slowServerConfig(t *testing.T, cfg jobs.Config) *httptest.Server {
 	t.Helper()
 	rng := rand.New(rand.NewSource(1))
 	ds := datagen.PlantedBlobs(datagen.BlobSpec{N: 20000, K: 4, Dims: 6, Sep: 6}, rng)
-	srv := New(map[string]*store.Table{"big": ds.Table},
-		core.Options{Seed: 1, SampleSize: 20000, DependencySampleRows: 500})
+	srv := NewWith(map[string]*store.Table{"big": ds.Table},
+		core.Options{Seed: 1, SampleSize: 20000, DependencySampleRows: 500},
+		session.NewManagerConfig(cfg))
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	return ts
+}
+
+func slowServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	return slowServerConfig(t, jobs.Config{})
 }
 
 // TestAsyncJobCancelMidBuild: a running build must be cancellable and
@@ -222,6 +233,116 @@ func TestZoomCacheHitOverWire(t *testing.T) {
 	st = doJSON(t, "GET", base, nil, http.StatusOK)
 	if st["action"] != "zoom" {
 		t.Errorf("state after cached zoom = %v", st["action"])
+	}
+}
+
+// TestCancelTerminalJobIdempotent pins the DELETE contract on a job
+// that already finished: 200 every time, and the job's final status is
+// never rewritten by a late cancel.
+func TestCancelTerminalJobIdempotent(t *testing.T) {
+	ts := testServer(t)
+	id, _ := openSession(t, ts, "blobs")
+	base := ts.URL + "/api/sessions/" + id
+	info := doJSON(t, "POST", base+"/jobs", map[string]any{"action": "select", "theme": 0}, http.StatusAccepted)
+	jobID := info["id"].(string)
+	if final := pollJob(t, base, jobID); final["status"] != "done" {
+		t.Fatalf("job = %v", final)
+	}
+	for i := 0; i < 2; i++ {
+		got := doJSON(t, "DELETE", base+"/jobs/"+jobID, nil, http.StatusOK)
+		if got["status"] != "done" {
+			t.Fatalf("cancel #%d of a done job rewrote its status to %v", i+1, got["status"])
+		}
+		if p, _ := got["progress"].(float64); p != 1 {
+			t.Errorf("cancel #%d of a done job reset progress to %v", i+1, got["progress"])
+		}
+	}
+}
+
+// TestSubmitQueueFull429: with the per-session queue cap reached, both
+// the async submit and the sync navigation endpoints answer 429 with a
+// Retry-After header instead of queueing unboundedly.
+func TestSubmitQueueFull429(t *testing.T) {
+	ts := slowServerConfig(t, jobs.Config{MaxQueuedPerSession: 1})
+	id, _ := openSession(t, ts, "big")
+	base := ts.URL + "/api/sessions/" + id
+
+	first := doJSON(t, "POST", base+"/jobs", map[string]any{"action": "select", "theme": 0}, http.StatusAccepted)
+	pollJobStatus(t, base, first["id"].(string), "running")
+	// The running job does not count against the queue cap; this one
+	// fills the single queue slot.
+	second := doJSON(t, "POST", base+"/jobs", map[string]any{"action": "project", "theme": 0}, http.StatusAccepted)
+
+	req, _ := http.NewRequest("POST", base+"/jobs",
+		strings.NewReader(`{"action":"select","theme":0}`))
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap async submit status = %d, want 429", res.StatusCode)
+	}
+	if res.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	var body map[string]string
+	if err := json.NewDecoder(res.Body).Decode(&body); err != nil || body["error"] == "" {
+		t.Errorf("429 body = %v (err %v)", body, err)
+	}
+	// The sync navigation path shares the same admission control.
+	req2, _ := http.NewRequest("POST", base+"/select", strings.NewReader(`{"theme":0}`))
+	res2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Body.Close()
+	if res2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap sync submit status = %d, want 429", res2.StatusCode)
+	}
+	if res2.Header.Get("Retry-After") == "" {
+		t.Error("sync 429 without Retry-After")
+	}
+	// The state response exposes the pressure.
+	st := doJSON(t, "GET", base, nil, http.StatusOK)
+	sched, _ := st["scheduler"].(map[string]any)
+	if sched == nil || sched["queued"].(float64) != 1 || sched["queueCap"].(float64) != 1 {
+		t.Errorf("scheduler block = %v", sched)
+	}
+	// Unblock the test server.
+	doJSON(t, "DELETE", base+"/jobs/"+second["id"].(string), nil, http.StatusOK)
+	doJSON(t, "DELETE", base+"/jobs/"+first["id"].(string), nil, http.StatusOK)
+	pollJob(t, base, first["id"].(string))
+}
+
+// TestJobStatsEndpoint: GET /api/jobs/stats serves the scheduler
+// snapshot, with tenants attributed from the open request.
+func TestJobStatsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	st := doJSON(t, "POST", ts.URL+"/api/sessions",
+		map[string]string{"dataset": "blobs", "tenant": "gold"}, http.StatusCreated)
+	id, _ := st["sessionId"].(string)
+	if sched, _ := st["scheduler"].(map[string]any); sched == nil || sched["tenant"] != "gold" {
+		t.Fatalf("open-state scheduler block = %v", st["scheduler"])
+	}
+	base := ts.URL + "/api/sessions/" + id
+	info := doJSON(t, "POST", base+"/jobs", map[string]any{"action": "select", "theme": 0}, http.StatusAccepted)
+	if info["tenant"] != "gold" {
+		t.Errorf("job info tenant = %v, want gold", info["tenant"])
+	}
+	pollJob(t, base, info["id"].(string))
+
+	stats := doJSON(t, "GET", ts.URL+"/api/jobs/stats", nil, http.StatusOK)
+	if w, _ := stats["workers"].(float64); w < 1 {
+		t.Errorf("stats workers = %v", stats["workers"])
+	}
+	tenants, _ := stats["tenants"].(map[string]any)
+	gold, _ := tenants["gold"].(map[string]any)
+	if gold == nil {
+		t.Fatalf("stats tenants = %v, want a gold entry", stats["tenants"])
+	}
+	if done, _ := gold["done"].(float64); done != 1 {
+		t.Errorf("gold done = %v, want 1", gold["done"])
 	}
 }
 

@@ -33,10 +33,20 @@ type Server struct {
 type Manager = session.Manager
 
 // New builds a server over a registry of named datasets. opts configures
-// every explorer the server opens.
+// every explorer the server opens. The scheduler runs without
+// backpressure limits; use NewWith to configure queue caps, tenant
+// weights and quotas.
 func New(datasets map[string]*store.Table, opts core.Options) *Server {
+	return NewWith(datasets, opts, session.NewManager())
+}
+
+// NewWith is New over an externally configured session manager, so
+// deployments can set the scheduler's backpressure policy (queue caps,
+// tenant weights, in-flight quotas — session.NewManagerConfig) before
+// handing it to the HTTP tier.
+func NewWith(datasets map[string]*store.Table, opts core.Options, m *Manager) *Server {
 	s := &Server{
-		manager:  session.NewManager(),
+		manager:  m,
 		mux:      http.NewServeMux(),
 		datasets: datasets,
 		opts:     opts,
@@ -50,6 +60,7 @@ func New(datasets map[string]*store.Table, opts core.Options) *Server {
 	s.mux.HandleFunc("POST /api/sessions/{id}/zoom", s.handleZoom)
 	s.mux.HandleFunc("POST /api/sessions/{id}/project", s.handleProject)
 	s.mux.HandleFunc("POST /api/sessions/{id}/rollback", s.handleRollback)
+	s.mux.HandleFunc("GET /api/jobs/stats", s.handleJobStats)
 	s.mux.HandleFunc("POST /api/sessions/{id}/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /api/sessions/{id}/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /api/sessions/{id}/jobs/{jobID}", s.handleJobGet)
@@ -114,6 +125,9 @@ type stateJSON struct {
 	// Jobs lists the session's in-flight (queued or running)
 	// asynchronous builds, so clients polling state see what is coming.
 	Jobs []jobs.Info `json:"jobs,omitempty"`
+	// Scheduler is the scheduler's view of this session: tenant, queue
+	// depth against the per-session cap, running job count.
+	Scheduler jobs.SessionStats `json:"scheduler"`
 }
 
 // clusterOptionsJSON is the optional clustering block of the open
@@ -218,6 +232,7 @@ func (s *Server) stateJSON(sess *session.Session) stateJSON {
 			out.Jobs = append(out.Jobs, info)
 		}
 	}
+	out.Scheduler = s.manager.Pool().SessionStats(sess.ID)
 	return out
 }
 
@@ -250,6 +265,16 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Dataset string              `json:"dataset"`
 		Options *clusterOptionsJSON `json:"options"`
+		// Tenant groups the session for scheduling: weighted fairness,
+		// in-flight quotas and per-tenant accounting apply to all of a
+		// tenant's sessions together. Empty = the session stands alone.
+		// The label is client-asserted — this server has no auth layer —
+		// so weights/quotas keyed on it isolate cooperative workloads,
+		// not adversaries; deployments that must enforce isolation should
+		// derive the tenant server-side (reverse proxy, or a
+		// jobs.Config.Tenant hook over authenticated identity) instead of
+		// trusting this field.
+		Tenant string `json:"tenant"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request: %w", err))
@@ -267,7 +292,7 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	sess, err := s.manager.Open(t, opts)
+	sess, err := s.manager.OpenTenant(t, opts, req.Tenant)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return

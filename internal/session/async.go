@@ -3,6 +3,7 @@ package session
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/jobs"
@@ -24,6 +25,27 @@ type Action struct {
 	Kind  string `json:"action"`
 	Path  []int  `json:"path,omitempty"`
 	Theme int    `json:"theme,omitempty"`
+	// DeadlineMS, when positive, gives the job a queue deadline that many
+	// milliseconds from submission: if no worker has picked it up by
+	// then, the scheduler sheds it (jobs.StatusShed) instead of building
+	// a map nobody is waiting for.
+	DeadlineMS int64 `json:"deadlineMs,omitempty"`
+	// Deadline is the absolute form of DeadlineMS (it wins when both are
+	// set). The server fills it from the request context on synchronous
+	// submit-and-wait endpoints, so a client timeout sheds the queued
+	// build. Not part of the wire shape.
+	Deadline time.Time `json:"-"`
+}
+
+// deadline resolves the action's queue deadline (zero = none).
+func (a Action) deadline() time.Time {
+	if !a.Deadline.IsZero() {
+		return a.Deadline
+	}
+	if a.DeadlineMS > 0 {
+		return time.Now().Add(time.Duration(a.DeadlineMS) * time.Millisecond)
+	}
+	return time.Time{}
 }
 
 // Submit schedules the action on the manager's pool, failing when the
@@ -31,7 +53,9 @@ type Action struct {
 // happen under the registry lock, so Submit cannot race Close into
 // queueing work for a closed session — either the submit loses and
 // errors, or it wins and Close's CancelSession cancels the fresh job.
-// Prefer this over Session.Submit whenever a Manager is in play.
+// Under overload the scheduler refuses the submission with
+// jobs.ErrQueueFull (match with errors.Is), which the HTTP tier maps to
+// 429. Prefer this over Session.Submit whenever a Manager is in play.
 func (m *Manager) Submit(id string, act Action) (*jobs.Job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -64,7 +88,7 @@ func (s *Session) Submit(pool *jobs.Pool, act Action) (*jobs.Job, error) {
 		return nil, fmt.Errorf("session: unknown action %q (want %s, %s or %s)",
 			act.Kind, ActionZoom, ActionSelect, ActionProject)
 	}
-	return pool.Submit(s.ID, act.Kind, func(ctx context.Context, j *jobs.Job) (any, error) {
+	return pool.SubmitOpts(s.ID, act.Kind, func(ctx context.Context, j *jobs.Job) (any, error) {
 		var build *core.MapBuild
 		if err := s.Do(func(e *core.Explorer) error {
 			var err error
@@ -99,5 +123,5 @@ func (s *Session) Submit(pool *jobs.Pool, act Action) (*jobs.Job, error) {
 		// only a compact summary, so the pool's retained-job window never
 		// pins whole region trees in memory.
 		return map[string]any{"k": m.K, "sampleSize": m.SampleSize, "rows": build.Rows()}, nil
-	})
+	}, jobs.SubmitOptions{Deadline: act.deadline()})
 }

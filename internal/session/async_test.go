@@ -156,6 +156,123 @@ func mustSubmit(t *testing.T, s *Session, m *Manager, act Action) *jobs.Job {
 	return j
 }
 
+// TestManagerQueueFull: a manager configured with queue caps surfaces
+// jobs.ErrQueueFull through Submit — the error the HTTP tier turns into
+// a 429.
+func TestManagerQueueFull(t *testing.T) {
+	m := NewManagerConfig(jobs.Config{Workers: 1, MaxQueuedPerSession: 1})
+	defer m.Shutdown()
+	s, _ := m.Open(smallTable(), core.Options{Seed: 1})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	if _, err := m.Pool().Submit(s.ID, "block", func(ctx context.Context, j *jobs.Job) (any, error) {
+		close(started)
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, ctx.Err()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := m.Submit(s.ID, Action{Kind: ActionSelect, Theme: 0}); err != nil {
+		t.Fatalf("submit filling the queue slot: %v", err)
+	}
+	_, err := m.Submit(s.ID, Action{Kind: ActionSelect, Theme: 0})
+	if !errors.Is(err, jobs.ErrQueueFull) {
+		t.Fatalf("over-cap submit err = %v, want jobs.ErrQueueFull", err)
+	}
+}
+
+// TestActionDeadlineSheds: an action with a queue deadline that lapses
+// while queued is shed by the scheduler, never building a map.
+func TestActionDeadlineSheds(t *testing.T) {
+	m := NewManagerWorkers(1)
+	defer m.Shutdown()
+	s, _ := m.Open(smallTable(), core.Options{Seed: 1})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if _, err := m.Pool().Submit(s.ID, "block", func(ctx context.Context, j *jobs.Job) (any, error) {
+		close(started)
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, ctx.Err()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	doomed, err := m.Submit(s.ID, Action{Kind: ActionSelect, Theme: 0, DeadlineMS: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if err := waitJob(t, doomed); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline-lapsed job err = %v, want DeadlineExceeded", err)
+	}
+	if doomed.Status() != jobs.StatusShed {
+		t.Errorf("status = %s, want shed", doomed.Status())
+	}
+	_ = s.Do(func(e *core.Explorer) error {
+		if len(e.History()) != 1 {
+			t.Errorf("shed build mutated the session (depth %d)", len(e.History()))
+		}
+		return nil
+	})
+}
+
+// TestOpenTenantAttribution: sessions opened under a tenant label are
+// scheduled and accounted under it.
+func TestOpenTenantAttribution(t *testing.T) {
+	m := NewManagerConfig(jobs.Config{Workers: 1})
+	defer m.Shutdown()
+	s, err := m.OpenTenant(smallTable(), core.Options{Seed: 1}, "gold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tenant != "gold" {
+		t.Errorf("session tenant = %q", s.Tenant)
+	}
+	j := mustSubmit(t, s, m, Action{Kind: ActionSelect, Theme: 0})
+	if j.Tenant() != "gold" {
+		t.Errorf("job tenant = %q, want gold", j.Tenant())
+	}
+	if err := waitJob(t, j); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Pool().Stats(); st.Tenants["gold"].Done != 1 {
+		t.Errorf("gold tenant stats = %+v", st.Tenants["gold"])
+	}
+	if ss := m.Pool().SessionStats(s.ID); ss.Tenant != "gold" {
+		t.Errorf("session stats tenant = %q", ss.Tenant)
+	}
+}
+
+// TestCloseReleasesRetainedJobs: closing a session drops its retained
+// terminal jobs from the pool, so dead sessions pin no scheduler memory.
+func TestCloseReleasesRetainedJobs(t *testing.T) {
+	m := NewManagerWorkers(1)
+	defer m.Shutdown()
+	s, _ := m.Open(smallTable(), core.Options{Seed: 1})
+	j := mustSubmit(t, s, m, Action{Kind: ActionSelect, Theme: 0})
+	if err := waitJob(t, j); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Pool().Get(j.ID()); !ok {
+		t.Fatal("finished job should be retained while the session lives")
+	}
+	if err := m.Close(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Pool().Get(j.ID()); ok {
+		t.Error("closed session's retained job still visible in the pool")
+	}
+}
+
 // TestCloseCancelsSessionJobs is the cancel-on-close contract: closing a
 // session must cancel its queued and running jobs so no worker writes
 // into it.

@@ -22,6 +22,9 @@ import (
 type Session struct {
 	// ID is the registry key.
 	ID string
+	// Tenant is the fairness/quota key the session's jobs are scheduled
+	// under ("" = the session is its own tenant). Set at open time.
+	Tenant string
 	// Explorer is the underlying exploration engine. Callers must hold
 	// the session lock (Do) for any interaction.
 	Explorer *core.Explorer
@@ -71,20 +74,51 @@ type Manager struct {
 	nextID   int
 	now      func() time.Time
 	pool     *jobs.Pool
+
+	// tenantMu guards tenants separately from mu: the pool's tenant hook
+	// runs under the pool lock, which Manager.Submit acquires while
+	// holding mu — taking mu again there would deadlock.
+	tenantMu sync.Mutex
+	tenants  map[string]string // session ID -> tenant label
 }
 
 // NewManager returns an empty session registry whose scheduler runs one
-// job worker per CPU.
+// job worker per CPU and applies no backpressure limits.
 func NewManager() *Manager { return NewManagerWorkers(0) }
 
 // NewManagerWorkers returns an empty session registry with an explicit
 // scheduler width (workers <= 0 means one per CPU).
 func NewManagerWorkers(workers int) *Manager {
-	return &Manager{
+	return NewManagerConfig(jobs.Config{Workers: workers})
+}
+
+// NewManagerConfig returns an empty session registry whose scheduler
+// runs under the given configuration — queue caps, tenant weights and
+// in-flight quotas (see jobs.Config). The manager owns tenant
+// attribution: sessions opened with OpenTenant are scheduled under that
+// tenant; cfg.Tenant, if set, is consulted for the rest; sessions with
+// neither are their own tenant.
+func NewManagerConfig(cfg jobs.Config) *Manager {
+	m := &Manager{
 		sessions: make(map[string]*Session),
 		now:      time.Now,
-		pool:     jobs.NewPool(workers),
+		tenants:  make(map[string]string),
 	}
+	fallback := cfg.Tenant
+	cfg.Tenant = func(session string) string {
+		m.tenantMu.Lock()
+		t := m.tenants[session]
+		m.tenantMu.Unlock()
+		if t != "" {
+			return t
+		}
+		if fallback != nil {
+			return fallback(session)
+		}
+		return session
+	}
+	m.pool = jobs.NewPoolConfig(cfg)
+	return m
 }
 
 // Pool returns the manager's job scheduler.
@@ -95,6 +129,15 @@ func (m *Manager) Pool() *jobs.Pool { return m.pool }
 // fan-out runner, so per-sample PAM runs share the server's worker
 // budget instead of spawning free goroutines.
 func (m *Manager) Open(t *store.Table, opts core.Options) (*Session, error) {
+	return m.OpenTenant(t, opts, "")
+}
+
+// OpenTenant is Open with an explicit tenant label: the session's jobs
+// are scheduled (weighted fairness, in-flight quotas, per-tenant
+// accounting) under that tenant instead of standing alone. An empty
+// tenant falls back to the scheduler's tenant hook, then to the session
+// itself.
+func (m *Manager) OpenTenant(t *store.Table, opts core.Options, tenant string) (*Session, error) {
 	if opts.Runner == nil {
 		opts.Runner = m.pool
 	}
@@ -107,9 +150,15 @@ func (m *Manager) Open(t *store.Table, opts core.Options) (*Session, error) {
 	m.nextID++
 	s := &Session{
 		ID:       fmt.Sprintf("s%04d", m.nextID),
+		Tenant:   tenant,
 		Explorer: e,
 		Created:  m.now(),
 		LastUsed: m.now(),
+	}
+	if tenant != "" {
+		m.tenantMu.Lock()
+		m.tenants[s.ID] = tenant
+		m.tenantMu.Unlock()
 	}
 	m.sessions[s.ID] = s
 	return s, nil
@@ -129,6 +178,8 @@ func (m *Manager) Get(id string) (*Session, error) {
 // Close removes a session and cancels its scheduled work: queued jobs
 // are dropped and the running build's context is cancelled, so no worker
 // keeps computing for — or applies a result into — a closed session.
+// The scheduler's retained terminal jobs of the session are released so
+// a dead session pins no memory.
 func (m *Manager) Close(id string) error {
 	m.mu.Lock()
 	_, ok := m.sessions[id]
@@ -137,8 +188,18 @@ func (m *Manager) Close(id string) error {
 	if !ok {
 		return fmt.Errorf("session: no session %q", id)
 	}
-	m.pool.CancelSession(id)
+	m.releaseSession(id)
 	return nil
+}
+
+// releaseSession cancels and releases a removed session's scheduler
+// state (shared by Close and EvictIdle).
+func (m *Manager) releaseSession(id string) {
+	m.pool.CancelSession(id)
+	m.pool.ReleaseSession(id)
+	m.tenantMu.Lock()
+	delete(m.tenants, id)
+	m.tenantMu.Unlock()
 }
 
 // Shutdown stops the scheduler: every queued and running job is
@@ -187,7 +248,7 @@ func (m *Manager) EvictIdle(maxIdle time.Duration) int {
 	}
 	m.mu.Unlock()
 	for _, id := range evicted {
-		m.pool.CancelSession(id)
+		m.releaseSession(id)
 	}
 	return len(evicted)
 }
