@@ -1,13 +1,20 @@
 # Developer entry points; CI runs the same commands (see
 # .github/workflows/ci.yml).
 
-.PHONY: build test race bench bench-smoke bench-pam vet race-jobs
+.PHONY: build test race bench bench-smoke bench-pam benchstat vet race-jobs race-derived
 
 # The scheduler subsystem under the race detector (also a CI step),
 # plus extra iterations of the backpressure overload stress.
 race-jobs:
 	go test -race ./internal/jobs/... ./internal/session/...
 	go test -race -count=3 -run 'Overload' ./internal/jobs/...
+
+# Concurrent derived builds against one shared parent artifact under the
+# race detector (also a CI step): the core builds sharing cached
+# vectors/oracles and the cluster-layer derived oracles sharing a parent
+# memo.
+race-derived:
+	go test -race -count=2 -run 'ConcurrentDerived|DerivedOraclesConcurrent' ./internal/core/... ./internal/cluster/...
 
 build:
 	go build ./...
@@ -39,3 +46,12 @@ bench-pam:
 	go run ./cmd/blaeu-bench -pam-json BENCH_pam.json
 	mkdir -p bench_history
 	cp BENCH_pam.json bench_history/$$(git rev-parse --short HEAD).json
+
+# Compare the two most recent bench_history/ snapshots (by mtime):
+# per-cell PAM timings, scheduler p50s and derived-oracle speedups with
+# relative deltas. Run `make bench-pam` first if the history has fewer
+# than two snapshots.
+benchstat:
+	@set -- $$(ls -t bench_history/*.json 2>/dev/null | head -2); \
+	if [ $$# -lt 2 ]; then echo "need two snapshots in bench_history/ (run make bench-pam)"; exit 1; fi; \
+	go run ./cmd/blaeu-bench -diff $$2 $$1

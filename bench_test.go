@@ -427,6 +427,73 @@ func BenchmarkZoomCached(b *testing.B) {
 	}
 }
 
+// BenchmarkZoomColdDerived measures the artifact tier on a cold zoom —
+// a map-cache miss whose rows are a subset of an already-built parent
+// selection — against the same zoom built entirely from scratch. Both
+// sub-runs disable the map cache (every zoom is a map miss; that is the
+// scenario); the derived run keeps the artifact cache, so the zoom
+// derives its oracle (and skips sampling + prep) from the parent
+// selection's cached artifact via cluster.DerivableOracle. The strategy
+// is materialized so the oracle stage — the O(m²) distance work the
+// derivation removes — dominates the gap. The acceptance bar of the
+// staged-pipeline PR is ≥2× on the oracle stage; end to end the derived
+// zoom also wins because it clusters the (smaller, still uniform)
+// overlap sample.
+func BenchmarkZoomColdDerived(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	ds := datagen.PlantedBlobs(datagen.BlobSpec{N: 40000, K: 4, Dims: 8, Sep: 6}, rng)
+	for _, mode := range []string{"cold", "derived"} {
+		artifactCache := -1
+		if mode == "derived" {
+			artifactCache = 0 // engine default
+		}
+		e, err := core.NewExplorer(ds.Table, core.Options{
+			Seed: 1, SampleSize: 4000, DependencySampleRows: 500,
+			OracleStrategy: cluster.OracleMaterialized,
+			MapCacheSize:   -1, ArtifactCacheSize: artifactCache,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		id, err := e.AddTheme(ds.Table.ColumnNames())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := e.SelectTheme(id) // the parent build (fills the artifact cache)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var path []int
+		for _, leaf := range m.Root.Leaves() {
+			if leaf.Count() >= 10000 { // the n≥10k acceptance scenario
+				path = leaf.Path
+				break
+			}
+		}
+		if path == nil {
+			path = m.Root.Leaves()[0].Path
+		}
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Zoom(path...); err != nil {
+					b.Fatal(err)
+				}
+				if err := e.Rollback(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			s := e.ReuseStats()
+			if mode == "derived" && s.Artifact.Derived < b.N {
+				b.Fatalf("only %d of %d zooms derived their oracle: %+v", s.Artifact.Derived, b.N, s.Artifact)
+			}
+			if mode == "cold" && (s.Artifact.Derived != 0 || s.Artifact.Hits != 0) {
+				b.Fatalf("cold run reused artifacts: %+v", s.Artifact)
+			}
+		})
+	}
+}
+
 // BenchmarkSchedulerOverload drives the job scheduler past saturation —
 // more tenants × sessions × jobs than the workers can absorb — and
 // reports the p50 submit-to-apply latency of the jobs that completed,

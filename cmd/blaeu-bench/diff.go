@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// readBenchFile loads one BENCH_pam.json-shaped snapshot.
+func readBenchFile(path string) (*pamBenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f pamBenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func pct(old, new float64) string {
+	if old == 0 {
+		return "    n/a"
+	}
+	return fmt.Sprintf("%+6.1f%%", (new-old)/old*100)
+}
+
+// writeBenchDiff prints a benchstat-style comparison of two snapshots:
+// per (n, k, oracle, seeding) cell the total clustering time old → new
+// with the relative delta, then the scheduler p50s and the derived-
+// oracle speedups. Used by `make benchstat` on the two most recent
+// bench_history/ snapshots.
+func writeBenchDiff(oldPath, newPath string) error {
+	oldF, err := readBenchFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newF, err := readBenchFile(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("old: %s (commit %s, %s)\n", oldPath, orDash(oldF.Commit), oldF.GeneratedAt)
+	fmt.Printf("new: %s (commit %s, %s)\n\n", newPath, orDash(newF.Commit), newF.GeneratedAt)
+
+	type cell struct {
+		n, k            int
+		oracle, seeding string
+	}
+	oldBy := make(map[cell]pamBenchEntry)
+	for _, e := range oldF.Entries {
+		oldBy[cell{e.N, e.K, e.Oracle, e.Seeding}] = e
+	}
+	fmt.Printf("%-28s %12s %12s %8s\n", "pam (n/k/oracle/seeding)", "old totalMs", "new totalMs", "delta")
+	for _, e := range newF.Entries {
+		key := cell{e.N, e.K, e.Oracle, e.Seeding}
+		name := fmt.Sprintf("%d/%d/%s/%s", e.N, e.K, e.Oracle, e.Seeding)
+		o, ok := oldBy[key]
+		if !ok {
+			fmt.Printf("%-28s %12s %12.2f %8s\n", name, "-", e.TotalMS, "new")
+			continue
+		}
+		fmt.Printf("%-28s %12.2f %12.2f %8s\n", name, o.TotalMS, e.TotalMS, pct(o.TotalMS, e.TotalMS))
+	}
+
+	if len(oldF.Scheduler) > 0 || len(newF.Scheduler) > 0 {
+		fmt.Printf("\n%-28s %12s %12s %8s\n", "scheduler (shedding)", "old p50Ms", "new p50Ms", "delta")
+		oldSched := make(map[bool]schedBenchEntry)
+		for _, e := range oldF.Scheduler {
+			oldSched[e.Shedding] = e
+		}
+		for _, e := range newF.Scheduler {
+			name := fmt.Sprintf("shedding=%v", e.Shedding)
+			o, ok := oldSched[e.Shedding]
+			if !ok {
+				fmt.Printf("%-28s %12s %12.2f %8s\n", name, "-", e.P50MS, "new")
+				continue
+			}
+			fmt.Printf("%-28s %12.2f %12.2f %8s\n", name, o.P50MS, e.P50MS, pct(o.P50MS, e.P50MS))
+		}
+	}
+
+	if len(oldF.ZoomDerived) > 0 || len(newF.ZoomDerived) > 0 {
+		fmt.Printf("\n%-28s %12s %12s %8s\n", "derived oracle (n/oracle)", "old speedup", "new speedup", "delta")
+		oldZD := make(map[string]derivedBenchEntry)
+		for _, e := range oldF.ZoomDerived {
+			oldZD[fmt.Sprintf("%d/%s", e.N, e.Oracle)] = e
+		}
+		for _, e := range newF.ZoomDerived {
+			name := fmt.Sprintf("%d/%s", e.N, e.Oracle)
+			o, ok := oldZD[name]
+			if !ok {
+				fmt.Printf("%-28s %12s %12.1f %8s\n", name, "-", e.Speedup, "new")
+				continue
+			}
+			fmt.Printf("%-28s %12.1f %12.1f %8s\n", name, o.Speedup, e.Speedup, pct(o.Speedup, e.Speedup))
+		}
+	}
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

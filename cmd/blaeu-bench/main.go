@@ -9,6 +9,7 @@
 //	blaeu-bench -exp all            # everything (minutes at scale 1)
 //	blaeu-bench -exp e2 -scale 0.2  # reduced scale
 //	blaeu-bench -pam-json BENCH_pam.json  # record the PAM perf matrix
+//	blaeu-bench -diff old.json new.json   # compare two recorded snapshots
 package main
 
 import (
@@ -27,7 +28,20 @@ func main() {
 	verbose := flag.Bool("v", false, "include rendered maps in the output")
 	list := flag.Bool("list", false, "list experiments")
 	pamJSON := flag.String("pam-json", "", "write the PAM perf matrix (oracles × seedings) to this JSON file and exit")
+	diff := flag.Bool("diff", false, "compare two recorded snapshots (args: old.json new.json) and exit")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: blaeu-bench -diff old.json new.json")
+			os.Exit(2)
+		}
+		if err := writeBenchDiff(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintf(os.Stderr, "diff: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *pamJSON != "" {
 		if err := writePAMBench(*pamJSON, *seed, *scale); err != nil {

@@ -1,0 +1,236 @@
+package cluster
+
+import "sync"
+
+// DerivableOracle is an Oracle that can derive a cheaper oracle over a
+// subset of its objects, reusing the parent's storage instead of
+// recomputing distances. This is what lets a zoom whose rows fall inside
+// an already-clustered parent selection skip the O(n·d·k) (or O(n²))
+// distance work of a fresh oracle build: the mapping pipeline derives
+// the child's oracle from the cached parent artifact (see
+// core's artifact cache) and goes straight to clustering.
+//
+// Contract: idx maps local object i of the derived oracle to parent
+// object idx[i]. Entries must be distinct, valid parent indices; idx is
+// retained, so callers must not mutate it afterwards. For DistMatrix and
+// LazyOracle the derived oracle answers byte-identically to an oracle
+// freshly built over the subset's vectors (same metric calls on the same
+// floats — see the differential tests); for KNNOracle the derived oracle
+// is the induced subgraph plus the parent's pivot rows, so near pairs
+// that survive induction stay exact and far pairs keep their triangle
+// upper bound (true-cost inflation stays inside the documented ≤2%
+// bound of the parent).
+//
+// Derived oracles share storage with their parent and remain safe for
+// concurrent use: several derived builds may run against one parent at
+// once (parent storage is read-only after construction; LazyOracle's
+// memo is internally synchronized).
+type DerivableOracle interface {
+	Oracle
+	// Subset returns an oracle over the objects idx.
+	Subset(idx []int) Oracle
+}
+
+// SubsetOracleOf derives an oracle over idx from parent: through the
+// parent's derivation API when it has one, falling back to a plain
+// re-indexing view otherwise. The fallback is correct for any oracle but
+// reuses no storage beyond delegation.
+func SubsetOracleOf(parent Oracle, idx []int) Oracle {
+	if d, ok := parent.(DerivableOracle); ok {
+		return d.Subset(idx)
+	}
+	return &SubsetOracle{Parent: parent, Idx: idx}
+}
+
+// Subset implements DerivableOracle: the derived oracle is an index view
+// over the parent's condensed storage — no distance is recomputed and no
+// storage is copied, so derivation is O(len(idx)).
+func (m *DistMatrix) Subset(idx []int) Oracle {
+	return &matrixView{m: m, idx: idx}
+}
+
+// matrixView is a DistMatrix restricted to a subset of its objects.
+// Every answer is read from the parent's condensed storage, so the view
+// is byte-identical to a matrix freshly computed over the subset's
+// vectors.
+type matrixView struct {
+	m   *DistMatrix
+	idx []int
+}
+
+// N implements Oracle.
+func (v *matrixView) N() int { return len(v.idx) }
+
+// Dist implements Oracle.
+func (v *matrixView) Dist(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return v.m.Dist(v.idx[i], v.idx[j])
+}
+
+// RowInto implements RowOracle.
+func (v *matrixView) RowInto(i int, dst []float64) {
+	pi := v.idx[i]
+	for j, pj := range v.idx {
+		if pj == pi {
+			dst[j] = 0
+			continue
+		}
+		dst[j] = v.m.Dist(pi, pj)
+	}
+}
+
+// peekRow returns the memoized row i, or nil. Cached rows are immutable
+// once stored, so callers may read the returned slice without the lock.
+func (o *LazyOracle) peekRow(i int) []float64 {
+	o.mu.Lock()
+	row := o.rows[i]
+	o.mu.Unlock()
+	return row
+}
+
+// Subset implements DerivableOracle: the derived oracle computes
+// on-demand distances over the parent's vectors and reads through the
+// parent's row memo — distance work the parent's build already paid for
+// (memoized rows) is never recomputed. Answers are byte-identical to a
+// fresh LazyOracle over the subset's vectors: both make the same metric
+// calls on the same float slices.
+func (o *LazyOracle) Subset(idx []int) Oracle {
+	return &lazySubset{
+		parent:  o,
+		idx:     idx,
+		maxRows: lazyCacheRows,
+		rows:    make(map[int][]float64),
+	}
+}
+
+// lazySubset is a LazyOracle restricted to a subset of its objects. It
+// keeps its own bounded memo of subset-sized rows (cheaper than the
+// parent's full rows) but consults the parent's memo first, so rows the
+// parent build materialized are gathered, not recomputed.
+type lazySubset struct {
+	parent  *LazyOracle
+	idx     []int
+	maxRows int
+
+	mu   sync.Mutex
+	rows map[int][]float64
+}
+
+// N implements Oracle.
+func (o *lazySubset) N() int { return len(o.idx) }
+
+// Dist implements Oracle. Like the parent's Dist it computes directly —
+// lock-free, so PAM's hot scan paths never contend on either memo.
+func (o *lazySubset) Dist(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return o.parent.metric.Dist(o.parent.vecs[o.idx[i]], o.parent.vecs[o.idx[j]])
+}
+
+// RowInto implements RowOracle: own memo first, then a gather from the
+// parent's memoized row when it has one, computing from the vectors only
+// when both miss.
+func (o *lazySubset) RowInto(i int, dst []float64) {
+	o.mu.Lock()
+	if row, ok := o.rows[i]; ok {
+		copy(dst, row)
+		o.mu.Unlock()
+		return
+	}
+	o.mu.Unlock()
+	pi := o.idx[i]
+	if prow := o.parent.peekRow(pi); prow != nil {
+		for j, pj := range o.idx {
+			dst[j] = prow[pj]
+		}
+	} else {
+		vi := o.parent.vecs[pi]
+		for j, pj := range o.idx {
+			if pj == pi {
+				dst[j] = 0
+				continue
+			}
+			dst[j] = o.parent.metric.Dist(vi, o.parent.vecs[pj])
+		}
+	}
+	o.mu.Lock()
+	if len(o.rows) < o.maxRows {
+		if _, ok := o.rows[i]; !ok {
+			o.rows[i] = append([]float64(nil), dst...)
+		}
+	}
+	o.mu.Unlock()
+}
+
+// Subset implements DerivableOracle: the derived oracle is a real
+// KNNOracle whose adjacency is the induced subgraph (neighbors outside
+// the subset drop out; surviving edges keep their exact distances) and
+// whose pivot rows are the parent's, restricted to the subset's columns.
+// Pivot points need not belong to the subset — the triangle upper bound
+// d(i,j) ≤ d(i,p) + d(p,j) holds for any reference point — so far pairs
+// keep estimates of the parent's quality while the O(n²) brute-force
+// graph build is replaced by an O(Σ degree + Pivots·m) induction.
+func (o *KNNOracle) Subset(idx []int) Oracle {
+	m := len(idx)
+	out := &KNNOracle{metric: o.metric}
+	out.vecs = make([][]float64, m)
+	for li, p := range idx {
+		out.vecs[li] = o.vecs[p]
+	}
+	// pos maps parent object -> local index + 1 (0 = not in the subset).
+	pos := make([]int32, len(o.vecs))
+	for li, p := range idx {
+		pos[p] = int32(li) + 1
+	}
+	out.adjIdx = make([][]int32, m)
+	out.adjDist = make([][]float64, m)
+	for li, p := range idx {
+		srcIdx, srcDist := o.adjIdx[p], o.adjDist[p]
+		var ids []int32
+		var ds []float64
+		for t, q := range srcIdx {
+			if lq := pos[q]; lq != 0 {
+				ids = append(ids, lq-1)
+				ds = append(ds, srcDist[t])
+			}
+		}
+		// Parent adjacency is sorted by parent id; the remap preserves
+		// that order only when idx is ascending.
+		if !int32sSorted(ids) {
+			sortByID(ids, ds)
+		}
+		out.adjIdx[li] = ids
+		out.adjDist[li] = ds
+	}
+	out.pivotD = make([][]float64, len(o.pivotD))
+	for pv, row := range o.pivotD {
+		nr := make([]float64, m)
+		for li, p := range idx {
+			nr[li] = row[p]
+		}
+		out.pivotD[pv] = nr
+	}
+	return out
+}
+
+func int32sSorted(ids []int32) bool {
+	for i := 1; i < len(ids); i++ {
+		if ids[i] < ids[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Subset implements DerivableOracle by re-slicing the vector set (the
+// slice headers are shared; no vector data is copied).
+func (o *VectorOracle) Subset(idx []int) Oracle {
+	vecs := make([][]float64, len(idx))
+	for i, p := range idx {
+		vecs[i] = o.Vecs[p]
+	}
+	return &VectorOracle{Vecs: vecs, Metric: o.Metric}
+}

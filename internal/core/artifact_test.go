@@ -1,0 +1,313 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// derivingExplorer returns an explorer tuned so small-region zooms pass
+// the derivation policy (the test tables are only a few hundred rows),
+// with the map tier disabled so every navigation exercises the artifact
+// tier.
+func derivingExplorer(t *testing.T, opts Options) *Explorer {
+	t.Helper()
+	if opts.MapCacheSize == 0 {
+		opts.MapCacheSize = -1
+	}
+	if opts.DerivedSampleMin == 0 {
+		opts.DerivedSampleMin = 10
+	}
+	return asyncExplorer(t, opts)
+}
+
+// TestZoomDerivesOracle: a cold zoom (map-cache miss) whose rows sit
+// inside the previous selection's sample must resolve as oracleDerived
+// — oracle reused through derivation — and still produce a valid map
+// over exactly the region's rows.
+func TestZoomDerivesOracle(t *testing.T) {
+	e := derivingExplorer(t, Options{Seed: 1})
+	if _, err := e.SelectTheme(0); err != nil { // cold: fills the artifact cache
+		t.Fatal(err)
+	}
+	if s := e.ReuseStats(); s.Artifact.Misses != 1 || s.Artifact.Entries != 1 {
+		t.Fatalf("after select: artifact stats %+v, want 1 miss / 1 entry", s.Artifact)
+	}
+	path := leafPath(t, e)
+	b, err := e.PrepareZoom(path...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reuse() != ReuseOracleDerived {
+		t.Fatalf("zoom reuse = %q, want %q", b.Reuse(), ReuseOracleDerived)
+	}
+	m, err := b.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ApplyBuild(b, m); err != nil {
+		t.Fatal(err)
+	}
+	if b.Reuse() != ReuseOracleDerived {
+		t.Fatalf("post-run reuse = %q, want %q (no degenerate fallback expected)", b.Reuse(), ReuseOracleDerived)
+	}
+	region, err := e.History()[1].Map.Root.Find(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Root.Count(); got != len(region.Rows) {
+		t.Errorf("derived map covers %d rows, want %d", got, len(region.Rows))
+	}
+	if m.SampleSize > len(region.Rows) || m.SampleSize < 10 {
+		t.Errorf("derived sample size %d out of range (region %d rows)", m.SampleSize, len(region.Rows))
+	}
+	s := e.ReuseStats()
+	if s.Artifact.Derived != 1 {
+		t.Errorf("derived counter = %d, want 1", s.Artifact.Derived)
+	}
+	if s.Artifact.Entries != 1 {
+		t.Errorf("artifact entries = %d, want 1 (derived artifacts must not be cached)", s.Artifact.Entries)
+	}
+}
+
+// TestExactArtifactReuse: rebuilding a map for a selection whose
+// artifact is still cached (here: re-selecting the same theme after a
+// rollback, with the map tier off) reuses the whole artifact — same
+// sample, no re-derivation — and reports oracleDerived.
+func TestExactArtifactReuse(t *testing.T) {
+	e := derivingExplorer(t, Options{Seed: 2})
+	m1, err := e.SelectTheme(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.PrepareSelect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reuse() != ReuseOracleDerived {
+		t.Fatalf("re-select reuse = %q, want %q", b.Reuse(), ReuseOracleDerived)
+	}
+	m2, err := b.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ApplyBuild(b, m2); err != nil {
+		t.Fatal(err)
+	}
+	if m2.SampleSize != m1.SampleSize {
+		t.Errorf("exact reuse changed the sample: %d vs %d", m2.SampleSize, m1.SampleSize)
+	}
+	s := e.ReuseStats()
+	if s.Artifact.Hits != 1 || s.Artifact.Derived != 0 {
+		t.Errorf("artifact stats %+v, want exactly 1 exact hit", s.Artifact)
+	}
+}
+
+// TestDerivationPolicyFloor: when the overlap with the cached parent
+// sample is below the policy floor, the build must run cold.
+func TestDerivationPolicyFloor(t *testing.T) {
+	// DerivedSampleMin stays at its 128 default; the 240-row table's
+	// leaf regions are smaller, so every zoom misses the floor.
+	e := asyncExplorer(t, Options{Seed: 3, MapCacheSize: -1})
+	if _, err := e.SelectTheme(0); err != nil {
+		t.Fatal(err)
+	}
+	path := leafPath(t, e)
+	b, err := e.PrepareZoom(path...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reuse() != ReuseCold {
+		t.Fatalf("small-overlap zoom reuse = %q, want %q", b.Reuse(), ReuseCold)
+	}
+	if _, err := e.Zoom(path...); err != nil {
+		t.Fatal(err)
+	}
+	s := e.ReuseStats()
+	if s.Artifact.Derived != 0 || s.Artifact.Misses < 2 {
+		t.Errorf("artifact stats %+v, want 0 derived and >= 2 misses", s.Artifact)
+	}
+}
+
+// TestDerivationDisabled: DerivedSampleMin < 0 switches derivation off;
+// the artifact tier then only answers exact hits.
+func TestDerivationDisabled(t *testing.T) {
+	e := derivingExplorer(t, Options{Seed: 4, DerivedSampleMin: -1})
+	if _, err := e.SelectTheme(0); err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.PrepareZoom(leafPath(t, e)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reuse() != ReuseCold {
+		t.Fatalf("derivation disabled but reuse = %q", b.Reuse())
+	}
+}
+
+// TestArtifactTierDisabled: a negative ArtifactCacheSize disables the
+// tier entirely; stats stay zero.
+func TestArtifactTierDisabled(t *testing.T) {
+	e := asyncExplorer(t, Options{Seed: 5, ArtifactCacheSize: -1})
+	if _, err := e.SelectTheme(0); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.ReuseStats(); s.Artifact != (TierStats{}) {
+		t.Errorf("disabled artifact tier has stats %+v", s.Artifact)
+	}
+}
+
+// TestArtifactCacheEviction: capacity-1 artifact cache evicts the older
+// cold artifact and counts it.
+func TestArtifactCacheEviction(t *testing.T) {
+	e := derivingExplorer(t, Options{Seed: 6, ArtifactCacheSize: 1})
+	if _, err := e.SelectTheme(0); err != nil {
+		t.Fatal(err)
+	}
+	// A second theme gives a second cold selection artifact under the
+	// same rows but another theme — a distinct key.
+	if len(e.Themes()) < 2 {
+		t.Skip("need two themes")
+	}
+	if _, err := e.Project(1); err != nil {
+		t.Fatal(err)
+	}
+	s := e.ReuseStats()
+	if s.Artifact.Entries != 1 || s.Artifact.Evictions != 1 {
+		t.Errorf("artifact stats %+v, want 1 entry / 1 eviction", s.Artifact)
+	}
+}
+
+// TestMapCacheEvictionCounter covers the new map-tier eviction counter.
+func TestMapCacheEvictionCounter(t *testing.T) {
+	e := asyncExplorer(t, Options{Seed: 7, MapCacheSize: 1, ArtifactCacheSize: -1})
+	if _, err := e.SelectTheme(0); err != nil {
+		t.Fatal(err)
+	}
+	path := leafPath(t, e)
+	if _, err := e.Zoom(path...); err != nil { // evicts the select's map
+		t.Fatal(err)
+	}
+	s := e.ReuseStats()
+	if s.Map.Entries != 1 || s.Map.Evictions != 1 || s.Map.Capacity != 1 {
+		t.Errorf("map tier stats %+v, want 1 entry / 1 eviction / capacity 1", s.Map)
+	}
+}
+
+// TestConcurrentDerivedBuilds runs two derived builds against the same
+// cached parent artifact concurrently (the -race CI target): both must
+// build correct maps off the shared storage; serialized applies keep
+// history sane — the loser fails with the stale-state error, never
+// corrupts.
+func TestConcurrentDerivedBuilds(t *testing.T) {
+	e := derivingExplorer(t, Options{Seed: 8})
+	if _, err := e.SelectTheme(0); err != nil {
+		t.Fatal(err)
+	}
+	m := e.CurrentMap()
+	leaves := m.Root.Leaves()
+	if len(leaves) < 2 {
+		t.Fatal("need two leaf regions")
+	}
+	b1, err := e.PrepareZoom(leaves[0].Path...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := e.PrepareZoom(leaves[1].Path...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []*MapBuild{b1, b2} {
+		if b.Reuse() != ReuseOracleDerived {
+			t.Fatalf("reuse = %q, want %q", b.Reuse(), ReuseOracleDerived)
+		}
+	}
+	var wg sync.WaitGroup
+	maps := make([]*Map, 2)
+	errs := make([]error, 2)
+	for i, b := range []*MapBuild{b1, b2} {
+		i, b := i, b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			maps[i], errs[i] = b.Run(context.Background(), nil)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent derived build %d: %v", i, err)
+		}
+	}
+	if err := e.ApplyBuild(b1, maps[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ApplyBuild(b2, maps[1]); err == nil {
+		t.Fatal("stale concurrent apply should fail")
+	} else if !strings.Contains(err.Error(), "state changed") {
+		t.Fatalf("unexpected stale-apply error: %v", err)
+	}
+}
+
+// TestDerivedBuildDegeneratesToCold: a zoom into a region that is
+// constant on the theme columns must be rejected by the prepare-time
+// degenerate-overlap check — it builds cold and degrades to a
+// single-region map exactly like a from-scratch build.
+func TestDerivedBuildDegeneratesToCold(t *testing.T) {
+	tbl, _, _ := laborTable(240, 7)
+	e, err := NewExplorer(tbl, Options{
+		Seed: 9, MapCacheSize: -1, DerivedSampleMin: 5, DerivedSampleFraction: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := e.AddTheme([]string{"CountryName"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.SelectTheme(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a leaf whose rows are constant on CountryName (a pure split).
+	var path []int
+	for _, leaf := range m.Root.Leaves() {
+		vals := make(map[string]bool)
+		col := tbl.ColumnByName("CountryName")
+		for _, r := range leaf.Rows {
+			vals[col.StringAt(r)] = true
+		}
+		if len(vals) == 1 && len(leaf.Rows) >= 5 {
+			path = leaf.Path
+			break
+		}
+	}
+	if path == nil {
+		t.Skip("no constant leaf region in this map")
+	}
+	b, err := e.PrepareZoom(path...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reuse() != ReuseCold {
+		t.Fatalf("constant-region zoom reuse = %q, want %q (degenerate overlap rejected at prepare)",
+			b.Reuse(), ReuseCold)
+	}
+	zm, err := b.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zm.K != 1 || !zm.Root.IsLeaf() {
+		t.Errorf("constant region should degrade to K=1, got K=%d", zm.K)
+	}
+	if err := e.ApplyBuild(b, zm); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.ReuseStats(); s.Artifact.Derived != 0 {
+		t.Errorf("derived counter = %d, want 0 (rejected overlap must count as a miss)", s.Artifact.Derived)
+	}
+}

@@ -8,6 +8,27 @@ import (
 	"repro/internal/store"
 )
 
+// ReuseLevel names how much prior work a prepared build reuses — the
+// reuse ladder resolved at prepare time and surfaced in job metadata:
+//
+//   - ReuseMapHit: the finished map itself was cached (map tier); Run
+//     returns a clone without rebuilding anything.
+//   - ReuseOracleDerived: the map must be rebuilt, but the expensive
+//     front half is reused from the artifact tier — either the whole
+//     artifact (same selection: sample, vectors and oracle reused
+//     as-is) or by derivation (the selection's rows overlap a cached
+//     parent's sample, so the child's oracle is derived through the
+//     cluster layer's Subset API instead of recomputed).
+//   - ReuseCold: nothing reusable was cached; the full pipeline runs.
+type ReuseLevel string
+
+// The reuse levels, coldest last.
+const (
+	ReuseMapHit        ReuseLevel = "mapHit"
+	ReuseOracleDerived ReuseLevel = "oracleDerived"
+	ReuseCold          ReuseLevel = "cold"
+)
+
 // MapBuild is one prepared map construction — the detachable middle of a
 // navigational action, split out so the expensive clustering can run on
 // a scheduler worker while the session lock stays free:
@@ -18,13 +39,13 @@ import (
 //
 // Prepare* validates the action and snapshots everything the build needs
 // (selection rows, theme, accumulated condition, a derived child RNG and
-// the zoom-cache lookup). Run touches only that snapshot plus immutable
-// Explorer state (table, options, metric), so concurrent Runs of one
-// session cannot race as long as applies are serialized — which the jobs
-// pool guarantees by running a session's jobs one at a time. ApplyBuild
-// refuses to fire if the navigation state moved since Prepare (e.g. a
-// rollback slipped in between), so a stale build can never corrupt the
-// history stack.
+// the two-tier cache lookup: finished map first, then build artifact).
+// Run touches only that snapshot plus immutable Explorer state (table,
+// options, metric), so concurrent Runs of one session cannot race as
+// long as applies are serialized — which the jobs pool guarantees by
+// running a session's jobs one at a time. ApplyBuild refuses to fire if
+// the navigation state moved since Prepare (e.g. a rollback slipped in
+// between), so a stale build can never corrupt the history stack.
 //
 // The synchronous Zoom, SelectTheme and Project run exactly these three
 // steps inline — there is a single execution path for map builds.
@@ -39,6 +60,17 @@ type MapBuild struct {
 	base   *State
 	key    mapKey
 	hit    *Map
+
+	// Artifact-tier resolution (set at prepare): reuse names the level,
+	// parent the cached artifact backing it, parentPos — nil for an
+	// exact hit — the overlap positions a derived build samples from.
+	// artifact is the build's finished artifact, set by Run and cached
+	// by ApplyBuild.
+	reuse     ReuseLevel
+	akey      artifactKey
+	parent    *buildArtifact
+	parentPos []int
+	artifact  *buildArtifact
 }
 
 // PrepareSelect stages a SelectTheme build.
@@ -81,9 +113,13 @@ func (e *Explorer) PrepareZoom(path ...int) (*MapBuild, error) {
 }
 
 // prepare snapshots the build inputs, derives the child RNG and resolves
-// the zoom cache. The RNG draw happens on every prepare — hit or miss —
-// so the explorer's random stream advances identically either way and
-// later navigation does not depend on the cache's contents.
+// the two cache tiers: the map cache first (a hit serves the finished
+// map), then the artifact cache (an exact hit reuses the whole front
+// half of the pipeline; failing that, the cached artifact with the
+// largest usable sample overlap backs a derived build). The RNG draw
+// happens on every prepare — hit, derived or cold — so the explorer's
+// random stream advances identically either way and later navigation
+// does not depend on the caches' contents.
 func (e *Explorer) prepare(action ActionKind, detail string, rows []int, theme Theme, cond store.And) *MapBuild {
 	b := &MapBuild{
 		e:      e,
@@ -94,10 +130,44 @@ func (e *Explorer) prepare(action ActionKind, detail string, rows []int, theme T
 		cond:   cond,
 		rng:    rand.New(rand.NewSource(e.rng.Int63())),
 		base:   e.State(),
+		reuse:  ReuseCold,
 	}
+	if e.cache == nil && e.artifacts == nil {
+		return b
+	}
+	fp := fingerprintRows(rows)
 	if e.cache != nil {
-		b.key = mapKey{rows: fingerprintRows(rows), n: len(rows), theme: theme.ID, config: e.cfg}
+		b.key = mapKey{rows: fp, n: len(rows), theme: theme.ID, config: e.cfg}
 		b.hit = e.cache.get(b.key)
+		if b.hit != nil {
+			b.reuse = ReuseMapHit
+		}
+	}
+	if e.artifacts != nil {
+		b.akey = artifactKey{rows: fp, n: len(rows), theme: theme.ID, config: e.acfg}
+		if b.hit != nil {
+			return b // map tier already answered; leave the artifact tier untouched
+		}
+		if art := e.artifacts.get(b.akey); art != nil {
+			b.parent = art
+			b.reuse = ReuseOracleDerived
+			e.artifacts.hits++
+		} else if e.opts.DerivedSampleMin >= 0 {
+			parent, pos := e.artifacts.findDerivable(theme.ID, e.acfg, rows, e.derivedSampleFloor(rows))
+			// A degenerate overlap (identical on every used column) must
+			// build cold so prep can refit and degrade to a single
+			// region; checking here keeps the counters exact even if the
+			// build is later cancelled.
+			if parent != nil && !constantAt(parent.vecs, pos) {
+				b.parent, b.parentPos = parent, pos
+				b.reuse = ReuseOracleDerived
+				e.artifacts.derived++
+			} else {
+				e.artifacts.misses++
+			}
+		} else {
+			e.artifacts.misses++
+		}
 	}
 	return b
 }
@@ -106,6 +176,9 @@ func (e *Explorer) prepare(action ActionKind, detail string, rows []int, theme T
 // in which case Run returns instantly without rebuilding oracle,
 // clustering or tree.
 func (b *MapBuild) Cached() bool { return b.hit != nil }
+
+// Reuse reports how much prior work the build reuses (see ReuseLevel).
+func (b *MapBuild) Reuse() ReuseLevel { return b.reuse }
 
 // Action returns the navigational action the build performs.
 func (b *MapBuild) Action() ActionKind { return b.action }
@@ -119,7 +192,10 @@ func (b *MapBuild) Rows() int { return len(b.rows) }
 // Run executes the mapping pipeline on the prepared snapshot. It must
 // not be called under the session lock — that is the point: ctx cancels
 // the build between pipeline stages and candidate k values, and progress
-// (may be nil) receives monotone fractions in [0, 1].
+// (may be nil) receives monotone fractions in [0, 1]. Derived builds
+// construct their artifact here (oracle subgraph induction is cheap but
+// not free), off the lock; the shared parent artifact is read-only, so
+// concurrent derived Runs against the same parent are safe.
 func (b *MapBuild) Run(ctx context.Context, progress func(float64)) (*Map, error) {
 	if b.hit != nil {
 		if progress != nil {
@@ -129,11 +205,29 @@ func (b *MapBuild) Run(ctx context.Context, progress func(float64)) (*Map, error
 		// never share mutable regions (annotations).
 		return cloneForReuse(b.hit), nil
 	}
-	return b.e.buildMapWith(ctx, b.rng, b.rows, b.theme, progress)
+	art := b.parent
+	if art != nil && b.parentPos != nil {
+		art = b.e.deriveArtifact(b.parent, b.parentPos, b.rng)
+		if constantVectors(art.vecs) {
+			// Prepare already rejected degenerate overlaps; this only
+			// fires in the pathological case where the derivation's
+			// subsample of a non-constant overlap came out constant.
+			// Build cold like prepare would have (ApplyBuild reconciles
+			// the derivation counter).
+			art = nil
+			b.reuse = ReuseCold
+		}
+	}
+	m, built, err := b.e.buildMapStaged(ctx, b.rng, b.rows, b.theme, art, progress)
+	if err != nil {
+		return nil, err
+	}
+	b.artifact = built
+	return m, nil
 }
 
 // ApplyBuild pushes the finished map as the new navigation state and
-// feeds the zoom cache. It fails if the build belongs to another
+// feeds both cache tiers. It fails if the build belongs to another
 // explorer or if the navigation state changed since Prepare, so stale
 // results are dropped instead of corrupting the history.
 func (e *Explorer) ApplyBuild(b *MapBuild, m *Map) error {
@@ -148,6 +242,19 @@ func (e *Explorer) ApplyBuild(b *MapBuild, m *Map) error {
 	}
 	if e.cache != nil && b.hit == nil {
 		e.cache.put(b.key, m)
+	}
+	// Only cold builds enter the artifact cache: a derived artifact is a
+	// view into its parent's storage, so caching it would pin the parent
+	// while adding nothing the map tier (exact re-visits) or the parent
+	// entry itself (further derivations) does not already provide.
+	if e.artifacts != nil && b.parentPos != nil && b.reuse == ReuseCold {
+		// Run demoted the derivation to a cold build (degenerate
+		// overlap): account it as a miss, not a derived reuse.
+		e.artifacts.derived--
+		e.artifacts.misses++
+	}
+	if e.artifacts != nil && b.artifact != nil && b.reuse == ReuseCold {
+		e.artifacts.put(b.akey, b.artifact)
 	}
 	e.push(&State{
 		Action:    b.action,
@@ -172,10 +279,39 @@ func (e *Explorer) runAndApply(b *MapBuild) (*Map, error) {
 }
 
 // MapCacheStats reports the zoom cache's hit/miss counters (both zero
-// when the cache is disabled).
+// when the cache is disabled). See ReuseStats for the full two-tier
+// breakdown.
 func (e *Explorer) MapCacheStats() (hits, misses int) {
 	if e.cache == nil {
 		return 0, 0
 	}
 	return e.cache.hits, e.cache.misses
+}
+
+// ReuseStats reports the two-tier reuse-cache counters: hits, misses,
+// occupancy and evictions per tier, plus — on the artifact tier — how
+// many builds derived their oracle from a cached parent. All zeros for
+// a disabled tier.
+func (e *Explorer) ReuseStats() ReuseStats {
+	var s ReuseStats
+	if e.cache != nil {
+		s.Map = TierStats{
+			Hits:      e.cache.hits,
+			Misses:    e.cache.misses,
+			Entries:   e.cache.lru.len(),
+			Capacity:  e.cache.lru.cap,
+			Evictions: e.cache.lru.evictions,
+		}
+	}
+	if e.artifacts != nil {
+		s.Artifact = TierStats{
+			Hits:      e.artifacts.hits,
+			Derived:   e.artifacts.derived,
+			Misses:    e.artifacts.misses,
+			Entries:   e.artifacts.lru.len(),
+			Capacity:  e.artifacts.lru.cap,
+			Evictions: e.artifacts.lru.evictions,
+		}
+	}
+	return s
 }

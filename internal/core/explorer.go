@@ -59,6 +59,13 @@ type Explorer struct {
 	// build-relevant options fingerprint baked into its keys.
 	cache *mapCache
 	cfg   uint64
+
+	// artifacts is the build-artifact cache — the reuse tier below the
+	// map cache, holding fitted sample vectors plus a reusable oracle
+	// handle per recently built selection (nil when disabled); acfg is
+	// the prep/oracle-relevant options fingerprint in its keys.
+	artifacts *artifactCache
+	acfg      uint64
 }
 
 // NewExplorer opens an exploration session: it detects the themes of the
@@ -72,6 +79,10 @@ func NewExplorer(t *store.Table, opts Options) (*Explorer, error) {
 	if opts.MapCacheSize > 0 {
 		e.cache = newMapCache(opts.MapCacheSize)
 		e.cfg = configFingerprint(opts)
+	}
+	if opts.ArtifactCacheSize > 0 {
+		e.artifacts = newArtifactCache(opts.ArtifactCacheSize)
+		e.acfg = artifactConfigFingerprint(opts)
 	}
 	if err := e.detectThemes(); err != nil {
 		return nil, err

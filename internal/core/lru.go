@@ -1,0 +1,65 @@
+package core
+
+import "container/list"
+
+// lruCache is the shared LRU mechanics of the two reuse tiers (map
+// cache and artifact cache): a capacity-bounded list + index with
+// move-to-front on access and an eviction counter. Hit/miss accounting
+// stays with the callers — the two tiers count different things (the
+// artifact tier resolves hit/derived/miss as one decision).
+type lruCache[K comparable, V any] struct {
+	cap       int
+	order     *list.List // front = most recently used
+	byKey     map[K]*list.Element
+	evictions int
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+func newLRU[K comparable, V any](capacity int) *lruCache[K, V] {
+	return &lruCache[K, V]{cap: capacity, order: list.New(), byKey: make(map[K]*list.Element)}
+}
+
+// get returns the value for k, bumping it to most recently used.
+func (c *lruCache[K, V]) get(k K) (V, bool) {
+	if el, ok := c.byKey[k]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*lruEntry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// put stores (or replaces) k, evicting least recently used entries
+// beyond capacity.
+func (c *lruCache[K, V]) put(k K, v V) {
+	if el, ok := c.byKey[k]; ok {
+		el.Value.(*lruEntry[K, V]).val = v
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[k] = c.order.PushFront(&lruEntry[K, V]{key: k, val: v})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*lruEntry[K, V]).key)
+		c.evictions++
+	}
+}
+
+// each walks the entries from most to least recently used until f
+// returns false.
+func (c *lruCache[K, V]) each(f func(k K, v V) bool) {
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*lruEntry[K, V])
+		if !f(e.key, e.val) {
+			return
+		}
+	}
+}
+
+// len returns the current entry count.
+func (c *lruCache[K, V]) len() int { return c.order.Len() }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/list"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
@@ -28,28 +27,20 @@ type mapKey struct {
 // accessed only under whatever lock guards the Explorer (the session
 // mutex at the server tier), so it needs no locking of its own.
 type mapCache struct {
-	cap          int
-	order        *list.List // front = most recently used
-	byKey        map[mapKey]*list.Element
+	lru          *lruCache[mapKey, *Map]
 	hits, misses int
 }
 
-type mapCacheEntry struct {
-	key mapKey
-	m   *Map
-}
-
 func newMapCache(capacity int) *mapCache {
-	return &mapCache{cap: capacity, order: list.New(), byKey: make(map[mapKey]*list.Element)}
+	return &mapCache{lru: newLRU[mapKey, *Map](capacity)}
 }
 
 // get returns the cached map for the key, or nil, updating the LRU order
 // and the hit/miss counters.
 func (c *mapCache) get(k mapKey) *Map {
-	if el, ok := c.byKey[k]; ok {
-		c.order.MoveToFront(el)
+	if m, ok := c.lru.get(k); ok {
 		c.hits++
-		return el.Value.(*mapCacheEntry).m
+		return m
 	}
 	c.misses++
 	return nil
@@ -57,19 +48,7 @@ func (c *mapCache) get(k mapKey) *Map {
 
 // put stores a finished map, evicting the least recently used entries
 // beyond capacity.
-func (c *mapCache) put(k mapKey, m *Map) {
-	if el, ok := c.byKey[k]; ok {
-		el.Value.(*mapCacheEntry).m = m
-		c.order.MoveToFront(el)
-		return
-	}
-	c.byKey[k] = c.order.PushFront(&mapCacheEntry{key: k, m: m})
-	for c.order.Len() > c.cap {
-		last := c.order.Back()
-		c.order.Remove(last)
-		delete(c.byKey, last.Value.(*mapCacheEntry).key)
-	}
-}
+func (c *mapCache) put(k mapKey, m *Map) { c.lru.put(k, m) }
 
 // cloneForReuse returns a copy of a cached map with a fresh region
 // tree, so a cache hit behaves like a fresh build: navigation states

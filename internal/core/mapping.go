@@ -48,98 +48,173 @@ type Map struct {
 //  5. the tree is applied to the *full* selection, so region counts
 //     reflect all tuples, not just the sample.
 func (e *Explorer) buildMap(rows []int, theme Theme) (*Map, error) {
-	return e.buildMapWith(context.Background(), e.rng, rows, theme, nil)
+	m, _, err := e.buildMapStaged(context.Background(), e.rng, rows, theme, nil, nil)
+	return m, err
 }
 
-// buildMapWith is buildMap with the build's moving parts made explicit,
-// so it can run detached from the Explorer on a scheduler worker (see
-// MapBuild): ctx cancels the build at stage and per-k granularity, rng
-// is the randomness source (async builds get a child RNG derived at
-// prepare time, so they never race on e.rng), and progress — may be nil
-// — receives monotone completion fractions in [0, 1]. Apart from rng,
-// the method only reads immutable Explorer state (table, options,
-// metric), which is what makes lock-free execution safe.
-func (e *Explorer) buildMapWith(ctx context.Context, rng *rand.Rand, rows []int, theme Theme, progress func(float64)) (*Map, error) {
+// buildMapStaged is the staged form of the mapping pipeline, with the
+// build's moving parts made explicit so it can run detached from the
+// Explorer on a scheduler worker (see MapBuild): ctx cancels the build
+// at stage and per-k granularity, rng is the randomness source (async
+// builds get a child RNG derived at prepare time, so they never race on
+// e.rng), and progress — may be nil — receives monotone completion
+// fractions in [0, 1]. Apart from rng, the method only reads immutable
+// Explorer state (table, options, metric), which is what makes lock-free
+// execution safe.
+//
+// Each stage produces an explicit intermediate — sample rows, a
+// buildArtifact (fitted vectors + oracle), a clustering, the region
+// tree — and the expensive front half is cacheable: when art is non-nil
+// (an exact artifact-cache hit, or an artifact derived from a cached
+// parent via deriveArtifact) the sample, prep and oracle stages are
+// skipped and the build resumes at cluster detection. The finished
+// artifact is returned alongside the map so ApplyBuild can feed the
+// artifact cache; it is nil when preprocessing degenerated.
+func (e *Explorer) buildMapStaged(ctx context.Context, rng *rand.Rand, rows []int, theme Theme, art *buildArtifact, progress func(float64)) (*Map, *buildArtifact, error) {
 	report := func(f float64) {
 		if progress != nil {
 			progress(f)
 		}
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(rows) == 0 {
-		return nil, fmt.Errorf("core: empty selection")
-	}
-	// Stage 0: multi-scale sampling.
-	sampleRows := rows
-	if len(rows) > e.opts.SampleSize {
-		pick := store.SampleIndices(len(rows), e.opts.SampleSize, rng)
-		sampleRows = make([]int, len(pick))
-		for i, p := range pick {
-			sampleRows[i] = rows[p]
-		}
-	}
-	sample := e.table.Gather(sampleRows)
-	report(0.05)
-
-	// Stage 1: preprocessing. A selection that is constant (or key-only)
-	// on the theme's columns has no cluster structure left: degrade to a
-	// single-region map instead of failing, so users can zoom to the
-	// bottom of any region and still roll back.
-	pipe, vecs, err := prep.FitTransform(sample, theme.Columns, e.opts.Prep)
-	if err != nil {
-		report(1)
-		return &Map{
-			Theme: theme, K: 1, Silhouette: 0, TreeAccuracy: 1,
-			SampleSize: len(sampleRows),
-			Root:       &Region{ClusterID: 0, Rows: rows, Silhouette: math.NaN()},
-		}, nil
+		return nil, nil, fmt.Errorf("core: empty selection")
 	}
 
-	// Stage 2: cluster detection with automatic k.
-	oracle := e.oracleFor(vecs)
-	report(0.15)
-	kMax := e.opts.MapKMax
-	if kMax >= len(vecs) {
-		kMax = len(vecs) - 1
-	}
-	var clustering *cluster.Clustering
-	if kMax < e.opts.MapKMin {
-		clustering = &cluster.Clustering{K: 1, Labels: make([]int, len(vecs)), Silhouette: 0}
-	} else {
-		clustering, err = cluster.AutoK(oracle, cluster.AutoKOptions{
-			KMin:                  e.opts.MapKMin,
-			KMax:                  kMax,
-			Method:                e.opts.ClusterMethod,
-			Algorithm:             e.opts.PAMAlgorithm,
-			Seeding:               e.opts.Seeding,
-			LargeThreshold:        e.opts.PAMThreshold,
-			MCSilhouetteThreshold: e.opts.PAMThreshold,
-			Context:               ctx,
-			Progress: func(done, total int) {
-				// Model selection dominates the build: map it onto the
-				// [0.15, 0.85] band of the progress fraction.
-				report(0.15 + 0.7*float64(done)/float64(total))
-			},
-			CLARA: cluster.CLARAOptions{
-				Parallelism: e.opts.Parallelism,
-				Runner:      e.opts.Runner,
-			},
-			Rand: rng,
-		})
+	var sample *store.Table
+	if art == nil {
+		// Stage 0: multi-scale sampling.
+		sampleRows := e.sampleStage(rng, rows)
+		sample = e.table.Gather(sampleRows)
+		report(0.05)
+
+		// Stage 1: preprocessing. A selection that is constant (or
+		// key-only) on the theme's columns has no cluster structure left:
+		// degrade to a single-region map instead of failing, so users can
+		// zoom to the bottom of any region and still roll back.
+		var err error
+		art, err = e.prepStage(sample, sampleRows, theme)
 		if err != nil {
-			if ctxErr := ctx.Err(); ctxErr != nil {
-				return nil, ctxErr
-			}
-			return nil, fmt.Errorf("core: clustering theme %d: %w", theme.ID, err)
+			report(1)
+			return &Map{
+				Theme: theme, K: 1, Silhouette: 0, TreeAccuracy: 1,
+				SampleSize: len(sampleRows),
+				Root:       &Region{ClusterID: 0, Rows: rows, Silhouette: math.NaN()},
+			}, nil, nil
 		}
+
+		// Stage 2a: the distance oracle over the prepared vectors.
+		e.oracleStage(art)
+	} else {
+		// Reused artifact (exact hit or derived): the sample is already
+		// chosen, prepped and backed by an oracle; only the description
+		// stage still needs the raw tuples.
+		sample = e.table.Gather(art.sampleRows)
+	}
+	report(0.15)
+
+	// Stage 2b: cluster detection with automatic k.
+	clustering, err := e.clusterStage(ctx, art, rng, report)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, nil, ctxErr
+		}
+		return nil, nil, fmt.Errorf("core: clustering theme %d: %w", theme.ID, err)
 	}
 	report(0.85)
 
-	// Stage 3: cluster description on the original tuples.
+	// Stages 3–4: cluster description and extension to the full
+	// selection.
+	m, err := e.regionStage(ctx, art, sample, clustering, rows, theme, report)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, art, nil
+}
+
+// sampleStage draws the multi-scale sample: at most opts.SampleSize of
+// the selection's rows, uniformly, in ascending order.
+func (e *Explorer) sampleStage(rng *rand.Rand, rows []int) []int {
+	if len(rows) <= e.opts.SampleSize {
+		return rows
+	}
+	pick := store.SampleIndices(len(rows), e.opts.SampleSize, rng)
+	sampleRows := make([]int, len(pick))
+	for i, p := range pick {
+		sampleRows[i] = rows[p]
+	}
+	return sampleRows
+}
+
+// prepStage fits the preprocessing pipeline on the gathered sample and
+// wraps the result in a build artifact (oracle not yet attached). The
+// error return marks a degenerate sample — constant or key-only on the
+// theme's columns.
+func (e *Explorer) prepStage(sample *store.Table, sampleRows []int, theme Theme) (*buildArtifact, error) {
+	pipe, vecs, err := prep.FitTransform(sample, theme.Columns, e.opts.Prep)
+	if err != nil {
+		return nil, err
+	}
+	art := &buildArtifact{
+		theme:      theme.ID,
+		sampleRows: sampleRows,
+		rowPos:     make(map[int]int, len(sampleRows)),
+		pipe:       pipe,
+		vecs:       vecs,
+	}
+	for i, r := range sampleRows {
+		art.rowPos[r] = i
+	}
+	return art, nil
+}
+
+// oracleStage attaches the distance oracle for the artifact's vectors
+// under the engine's OracleStrategy: auto materializes a matrix for
+// small samples (fast repeated access by PAM) and goes lazy above
+// OracleThreshold; explicit strategies (matrix, lazy, knn) override the
+// size heuristic.
+func (e *Explorer) oracleStage(art *buildArtifact) {
+	art.oracle = cluster.BuildOracle(art.vecs, e.metric, e.opts.OracleStrategy, e.opts.OracleThreshold, e.opts.KNN)
+}
+
+// clusterStage runs cluster detection with automatic k over the
+// artifact's oracle. Model selection dominates the build, so its
+// progress is mapped onto the [0.15, 0.85] band.
+func (e *Explorer) clusterStage(ctx context.Context, art *buildArtifact, rng *rand.Rand, report func(float64)) (*cluster.Clustering, error) {
+	kMax := e.opts.MapKMax
+	if kMax >= len(art.vecs) {
+		kMax = len(art.vecs) - 1
+	}
+	if kMax < e.opts.MapKMin {
+		return &cluster.Clustering{K: 1, Labels: make([]int, len(art.vecs)), Silhouette: 0}, nil
+	}
+	return cluster.AutoK(art.oracle, cluster.AutoKOptions{
+		KMin:                  e.opts.MapKMin,
+		KMax:                  kMax,
+		Method:                e.opts.ClusterMethod,
+		Algorithm:             e.opts.PAMAlgorithm,
+		Seeding:               e.opts.Seeding,
+		LargeThreshold:        e.opts.PAMThreshold,
+		MCSilhouetteThreshold: e.opts.PAMThreshold,
+		Context:               ctx,
+		Progress: func(done, total int) {
+			report(0.15 + 0.7*float64(done)/float64(total))
+		},
+		CLARA: cluster.CLARAOptions{
+			Parallelism: e.opts.Parallelism,
+			Runner:      e.opts.Runner,
+		},
+		Rand: rng,
+	})
+}
+
+// regionStage fits the description tree on the sample's original tuples
+// and mirrors it over the full selection (stages 3–4 of buildMap).
+func (e *Explorer) regionStage(ctx context.Context, art *buildArtifact, sample *store.Table, clustering *cluster.Clustering, rows []int, theme Theme, report func(float64)) (*Map, error) {
 	m := &Map{Theme: theme, K: clustering.K, Silhouette: clustering.Silhouette,
-		SampleSize: len(sampleRows)}
+		SampleSize: len(art.sampleRows)}
 	if clustering.K < 2 {
 		m.Root = &Region{ClusterID: 0, Rows: rows, Silhouette: math.NaN()}
 		m.TreeAccuracy = 1
@@ -149,7 +224,7 @@ func (e *Explorer) buildMapWith(ctx context.Context, rng *rand.Rand, rows []int,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	features := pipe.UsedColumns()
+	features := art.pipe.UsedColumns()
 	tr, err := tree.Fit(sample, features, clustering.Labels, clustering.K, tree.Options{
 		MaxDepth: e.opts.TreeMaxDepth,
 		MinLeaf:  e.opts.TreeMinLeaf,
@@ -163,20 +238,11 @@ func (e *Explorer) buildMapWith(ctx context.Context, rng *rand.Rand, rows []int,
 	report(0.92)
 
 	// Per-cluster quality for leaf annotation.
-	perCluster := cluster.SilhouettePerCluster(oracle, clustering.Labels, clustering.K)
+	perCluster := cluster.SilhouettePerCluster(art.oracle, clustering.Labels, clustering.K)
 
-	// Stage 4: extend the description to the full selection.
 	m.Root = e.regionsFromTree(tr.Root, rows, nil, nil, perCluster)
 	report(1)
 	return m, nil
-}
-
-// oracleFor builds the distance oracle for a prepared sample under the
-// engine's OracleStrategy: auto materializes a matrix for small samples
-// (fast repeated access by PAM) and goes lazy above OracleThreshold;
-// explicit strategies (matrix, lazy, knn) override the size heuristic.
-func (e *Explorer) oracleFor(vecs [][]float64) cluster.Oracle {
-	return cluster.BuildOracle(vecs, e.metric, e.opts.OracleStrategy, e.opts.OracleThreshold, e.opts.KNN)
 }
 
 // regionsFromTree mirrors the fitted description tree over the full

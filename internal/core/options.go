@@ -93,6 +93,25 @@ type Options struct {
 	// followed by a re-zoom into the same region. 0 means
 	// DefaultMapCacheSize; negative disables the cache.
 	MapCacheSize int
+	// ArtifactCacheSize bounds the build-artifact cache, the reuse tier
+	// below the map cache: finished builds' fitted vectors + distance
+	// oracle are kept keyed by (row-set fingerprint, theme, prep+oracle
+	// config), so a map-cache miss whose rows overlap a cached parent's
+	// sample derives its oracle instead of rebuilding it (see
+	// cluster.DerivableOracle). 0 means DefaultArtifactCacheSize;
+	// negative disables the tier.
+	ArtifactCacheSize int
+	// DerivedSampleMin is the smallest overlap (rows of a new selection
+	// found in a cached parent's sample) a derived build accepts as its
+	// clustering sample; below it the build runs cold. 0 means the
+	// default (128); negative disables derivation entirely (the
+	// artifact tier then only serves exact hits).
+	DerivedSampleMin int
+	// DerivedSampleFraction is the relative form of DerivedSampleMin:
+	// the overlap must also reach this fraction of what a cold build
+	// would cluster, min(len(rows), SampleSize). 0 means the default
+	// (0.2). The larger of the two floors applies.
+	DerivedSampleFraction float64
 	// MaxHistory bounds the rollback stack (default 64).
 	MaxHistory int
 }
@@ -100,19 +119,22 @@ type Options struct {
 // DefaultOptions returns the engine defaults described in the paper.
 func DefaultOptions() Options {
 	return Options{
-		SampleSize:      5000,
-		ThemeKMin:       2,
-		ThemeKMax:       8,
-		MapKMin:         2,
-		MapKMax:         6,
-		TreeMaxDepth:    3,
-		TreeMinLeaf:     8,
-		Prep:            prep.NewOptions(),
-		PAMThreshold:    1024,
-		Parallelism:     runtime.NumCPU(),
-		OracleThreshold: cluster.DefaultMaterializeThreshold,
-		MapCacheSize:    DefaultMapCacheSize,
-		MaxHistory:      64,
+		SampleSize:            5000,
+		ThemeKMin:             2,
+		ThemeKMax:             8,
+		MapKMin:               2,
+		MapKMax:               6,
+		TreeMaxDepth:          3,
+		TreeMinLeaf:           8,
+		Prep:                  prep.NewOptions(),
+		PAMThreshold:          1024,
+		Parallelism:           runtime.NumCPU(),
+		OracleThreshold:       cluster.DefaultMaterializeThreshold,
+		MapCacheSize:          DefaultMapCacheSize,
+		ArtifactCacheSize:     DefaultArtifactCacheSize,
+		DerivedSampleMin:      defaultDerivedSampleMin,
+		DerivedSampleFraction: defaultDerivedSampleFraction,
+		MaxHistory:            64,
 	}
 }
 
@@ -153,6 +175,15 @@ func (o *Options) defaults() {
 	}
 	if o.MapCacheSize == 0 {
 		o.MapCacheSize = d.MapCacheSize
+	}
+	if o.ArtifactCacheSize == 0 {
+		o.ArtifactCacheSize = d.ArtifactCacheSize
+	}
+	if o.DerivedSampleMin == 0 {
+		o.DerivedSampleMin = d.DerivedSampleMin
+	}
+	if o.DerivedSampleFraction <= 0 {
+		o.DerivedSampleFraction = d.DerivedSampleFraction
 	}
 	if o.OracleThreshold <= 0 {
 		o.OracleThreshold = d.OracleThreshold

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"repro/internal/core"
 	"repro/internal/jobs"
 	"repro/internal/session"
 )
@@ -127,6 +128,48 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 // breakdown — the observability face of the backpressure layer.
 func (s *Server) handleJobStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.manager.Pool().Stats())
+}
+
+// cacheStatsJSON is the wire shape of GET /api/cache/stats: the
+// reuse-cache counters of every open session plus their sum — the
+// jobs/stats counterpart for the two-tier build cache.
+type cacheStatsJSON struct {
+	Sessions map[string]core.ReuseStats `json:"sessions"`
+	Totals   core.ReuseStats            `json:"totals"`
+}
+
+func addTier(a, b core.TierStats) core.TierStats {
+	return core.TierStats{
+		Hits:      a.Hits + b.Hits,
+		Derived:   a.Derived + b.Derived,
+		Misses:    a.Misses + b.Misses,
+		Entries:   a.Entries + b.Entries,
+		Capacity:  a.Capacity + b.Capacity,
+		Evictions: a.Evictions + b.Evictions,
+	}
+}
+
+// handleCacheStats serves the per-session and aggregate reuse-cache
+// counters: map-tier hits, artifact-tier exact hits and derivations,
+// misses, occupancy and evictions. Sessions closed between the listing
+// and the read are skipped.
+func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
+	out := cacheStatsJSON{Sessions: make(map[string]core.ReuseStats)}
+	for _, id := range s.manager.List() {
+		sess, err := s.manager.Get(id)
+		if err != nil {
+			continue
+		}
+		var rs core.ReuseStats
+		_ = sess.Do(func(e *core.Explorer) error {
+			rs = e.ReuseStats()
+			return nil
+		})
+		out.Sessions[id] = rs
+		out.Totals.Map = addTier(out.Totals.Map, rs.Map)
+		out.Totals.Artifact = addTier(out.Totals.Artifact, rs.Artifact)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // runAction is the synchronous navigation path: submit the action to the

@@ -61,6 +61,7 @@ func NewWith(datasets map[string]*store.Table, opts core.Options, m *Manager) *S
 	s.mux.HandleFunc("POST /api/sessions/{id}/project", s.handleProject)
 	s.mux.HandleFunc("POST /api/sessions/{id}/rollback", s.handleRollback)
 	s.mux.HandleFunc("GET /api/jobs/stats", s.handleJobStats)
+	s.mux.HandleFunc("GET /api/cache/stats", s.handleCacheStats)
 	s.mux.HandleFunc("POST /api/sessions/{id}/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /api/sessions/{id}/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /api/sessions/{id}/jobs/{jobID}", s.handleJobGet)
@@ -128,6 +129,10 @@ type stateJSON struct {
 	// Scheduler is the scheduler's view of this session: tenant, queue
 	// depth against the per-session cap, running job count.
 	Scheduler jobs.SessionStats `json:"scheduler"`
+	// Cache is the session's two-tier reuse-cache breakdown (map tier
+	// over artifact tier: hits, derivations, misses, occupancy,
+	// evictions), so build reuse is observable over the wire.
+	Cache core.ReuseStats `json:"cache"`
 }
 
 // clusterOptionsJSON is the optional clustering block of the open
@@ -138,6 +143,24 @@ type clusterOptionsJSON struct {
 	Algorithm string `json:"algorithm"`
 	Oracle    string `json:"oracle"`
 	Seeding   string `json:"seeding"`
+	// MapCacheSize / ArtifactCacheSize bound the session's two reuse
+	// tiers (entries). Omitted or 0 keeps the server default; -1
+	// disables the tier; larger values are capped by validation (the
+	// caches pin maps and oracles in server memory).
+	MapCacheSize      *int `json:"mapCacheSize"`
+	ArtifactCacheSize *int `json:"artifactCacheSize"`
+}
+
+// maxCacheEntries bounds the per-session cache sizes a client may
+// request: beyond it a cache stops being a working set and starts being
+// a memory grab (each artifact entry can pin a materialized oracle).
+const maxCacheEntries = 1024
+
+func validateCacheSize(name string, v int) error {
+	if v < -1 || v > maxCacheEntries {
+		return fmt.Errorf("%s must be between -1 (disabled) and %d entries, got %d", name, maxCacheEntries, v)
+	}
+	return nil
 }
 
 // apply validates the overrides and writes them into opts.
@@ -162,6 +185,22 @@ func (c *clusterOptionsJSON) apply(opts *core.Options) error {
 	}
 	if c.Seeding != "" {
 		opts.Seeding = seeding
+	}
+	if c.MapCacheSize != nil {
+		if err := validateCacheSize("mapCacheSize", *c.MapCacheSize); err != nil {
+			return err
+		}
+		if *c.MapCacheSize != 0 {
+			opts.MapCacheSize = *c.MapCacheSize
+		}
+	}
+	if c.ArtifactCacheSize != nil {
+		if err := validateCacheSize("artifactCacheSize", *c.ArtifactCacheSize); err != nil {
+			return err
+		}
+		if *c.ArtifactCacheSize != 0 {
+			opts.ArtifactCacheSize = *c.ArtifactCacheSize
+		}
 	}
 	return nil
 }
@@ -218,6 +257,7 @@ func (s *Server) stateJSON(sess *session.Session) stateJSON {
 			Map:       mapToJSON(st.Map),
 			Depth:     len(e.History()),
 			Cluster:   session.DescribeCluster(e.Options()),
+			Cache:     e.ReuseStats(),
 		}
 		for _, t := range e.Themes() {
 			out.Themes = append(out.Themes, themeToJSON(t))

@@ -81,6 +81,10 @@ func (m *Manager) Submit(id string, act Action) (*jobs.Job, error) {
 //
 // Jobs resolved by the zoom cache report {"cacheHit": true} in their
 // metadata and complete without rebuilding oracle, clustering or tree.
+// Every build job additionally reports its reuse level ({"reuse":
+// "mapHit" | "oracleDerived" | "cold"}, see core.ReuseLevel): whether it
+// was served from the map tier, rebuilt over an oracle reused or
+// derived from the artifact tier, or built entirely from scratch.
 func (s *Session) Submit(pool *jobs.Pool, act Action) (*jobs.Job, error) {
 	switch act.Kind {
 	case ActionZoom, ActionSelect, ActionProject:
@@ -111,6 +115,9 @@ func (s *Session) Submit(pool *jobs.Pool, act Action) (*jobs.Job, error) {
 		if err != nil {
 			return nil, err
 		}
+		// After Run, not before: a derived build that hits a degenerate
+		// overlap demotes itself to cold mid-run.
+		j.SetMeta("reuse", string(build.Reuse()))
 		// A cancellation that lands after the last in-build checkpoint
 		// must still win: a cancelled job never applies its result.
 		if err := ctx.Err(); err != nil {

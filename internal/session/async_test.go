@@ -147,6 +147,48 @@ func TestCacheHitMetadata(t *testing.T) {
 	}
 }
 
+// TestReuseLevelMetadata walks the reuse ladder over the wire-visible
+// job metadata: a first selection is cold, a zoom inside it derives its
+// oracle from the cached artifact, and a re-zoom after rollback is a
+// map hit.
+func TestReuseLevelMetadata(t *testing.T) {
+	m := NewManagerWorkers(1)
+	defer m.Shutdown()
+	// The 200-row test table needs a lower derivation floor than the
+	// production default of 128 rows.
+	s, _ := m.Open(smallTable(), core.Options{Seed: 1, DerivedSampleMin: 10})
+	sel := mustSubmit(t, s, m, Action{Kind: ActionSelect, Theme: 0})
+	if err := waitJob(t, sel); err != nil {
+		t.Fatal(err)
+	}
+	if got := sel.Info().Meta["reuse"]; got != "cold" {
+		t.Errorf("first select reuse = %v, want cold", got)
+	}
+	var path []int
+	_ = s.Do(func(e *core.Explorer) error {
+		path = e.CurrentMap().Root.Leaves()[0].Path
+		return nil
+	})
+	zoom := mustSubmit(t, s, m, Action{Kind: ActionZoom, Path: path})
+	if err := waitJob(t, zoom); err != nil {
+		t.Fatal(err)
+	}
+	if got := zoom.Info().Meta["reuse"]; got != "oracleDerived" {
+		t.Errorf("first zoom reuse = %v, want oracleDerived", got)
+	}
+	_ = s.Do(func(e *core.Explorer) error { return e.Rollback() })
+	re := mustSubmit(t, s, m, Action{Kind: ActionZoom, Path: path})
+	if err := waitJob(t, re); err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Info().Meta["reuse"]; got != "mapHit" {
+		t.Errorf("re-zoom reuse = %v, want mapHit", got)
+	}
+	if re.Info().Meta["cacheHit"] != true {
+		t.Error("mapHit job should keep the legacy cacheHit metadata")
+	}
+}
+
 func mustSubmit(t *testing.T, s *Session, m *Manager, act Action) *jobs.Job {
 	t.Helper()
 	j, err := s.Submit(m.Pool(), act)
