@@ -1,7 +1,7 @@
 # Developer entry points; CI runs the same commands (see
 # .github/workflows/ci.yml).
 
-.PHONY: build test race bench bench-smoke bench-pam benchstat vet race-jobs race-derived
+.PHONY: build test race bench bench-smoke bench-pam benchstat vet race-jobs race-derived lint fmt-check fuzz-smoke vuln
 
 # The scheduler subsystem under the race detector (also a CI step),
 # plus extra iterations of the backpressure overload stress.
@@ -27,6 +27,33 @@ race:
 
 vet:
 	go vet ./...
+
+# The repo's own analyzer suite (internal/analysis, driven by
+# cmd/blaeu-lint): determinism over the algorithmic core, lockcheck over
+# the concurrent tiers, ctxcheck over the request stack. A clean exit is
+# a CI gate; suppress individual findings only with a reasoned
+# `//blaeu:nolint <analyzer> <reason>` comment.
+lint:
+	go run ./cmd/blaeu-lint ./...
+
+# gofmt cleanliness: fails listing any file that needs formatting.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Short fuzz passes over the two untrusted-input parsers (CSV ingestion,
+# session open-options JSON) so the harnesses and corpora don't bit-rot.
+# Real fuzzing: raise -fuzztime and let it run.
+fuzz-smoke:
+	go test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=10s ./internal/store
+	go test -run='^$$' -fuzz=FuzzOpenOptions -fuzztime=10s ./internal/server
+
+# Known-vulnerability scan over the module and its (stdlib-only)
+# dependency graph. Installs govulncheck if absent — needs network, so
+# this is primarily a CI step.
+vuln:
+	command -v govulncheck >/dev/null 2>&1 || go install golang.org/x/vuln/cmd/govulncheck@latest
+	govulncheck ./...
 
 # Full benchmark pass (minutes).
 bench:

@@ -11,6 +11,7 @@ package blaeu
 // micro-benchmarks below time the individual algorithms at fixed sizes.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -514,7 +515,7 @@ func BenchmarkSchedulerOverload(b *testing.B) {
 		b.Run(v.name, func(b *testing.B) {
 			var p50Sum, shedSum, doneSum float64
 			for i := 0; i < b.N; i++ {
-				res := jobs.RunOverloadEpisode(jobs.DefaultOverloadConfig(v.deadline))
+				res := jobs.RunOverloadEpisode(context.Background(), jobs.DefaultOverloadConfig(v.deadline))
 				if res.Completed == 0 {
 					b.Fatal("no job completed")
 				}

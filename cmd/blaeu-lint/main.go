@@ -1,0 +1,192 @@
+// Command blaeu-lint runs the repo's custom analyzer suite
+// (internal/analysis): determinism over the algorithmic core, lockcheck
+// over the concurrent tiers, ctxcheck over the request stack.
+//
+// Standalone:
+//
+//	go run ./cmd/blaeu-lint ./...
+//
+// loads the packages matching the patterns (default ./...), runs each
+// analyzer over the packages in its scope and prints the findings;
+// exit status 1 means findings.
+//
+// As a vet tool:
+//
+//	go build -o blaeu-lint ./cmd/blaeu-lint
+//	go vet -vettool=./blaeu-lint ./...
+//
+// implements the cmd/vet unitchecker protocol: -V=full for the tool
+// identity and a single *.cfg argument per package, with export data
+// supplied by the go command. Findings exit 2, matching vet.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	for _, a := range args {
+		if a == "-V=full" || a == "-V" {
+			// The go command hashes this line into its build cache key.
+			fmt.Println("blaeu-lint version v1")
+			return
+		}
+		if a == "-flags" {
+			// The go command asks which flags the tool supports; this
+			// suite has none.
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(standalone(args))
+}
+
+// activeFor returns the analyzers whose scope covers the package.
+func activeFor(importPath string) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	for _, a := range analysis.All() {
+		if a.AppliesTo(importPath) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func printDiags(diags []analysis.Diagnostic) {
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		fn := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, fn); err == nil && !strings.HasPrefix(rel, "..") {
+				fn = rel
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: [%s] %s\n", fn, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+}
+
+func standalone(patterns []string) int {
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var all []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunPackage(pkg, activeFor(pkg.ImportPath))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		all = append(all, diags...)
+	}
+	printDiags(all)
+	if len(all) > 0 {
+		fmt.Fprintf(os.Stderr, "blaeu-lint: %d finding(s)\n", len(all))
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the unitchecker configuration the go command writes for
+// each package when invoked via `go vet -vettool`.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "blaeu-lint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The protocol requires an output file (analyzer facts); this suite
+	// exports none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	active := activeFor(cfg.ImportPath)
+	if cfg.VetxOnly || len(active) == 0 {
+		return 0
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, gf := range cfg.GoFiles {
+		if strings.HasSuffix(gf, "_test.go") {
+			continue // the suite's invariants target production code
+		}
+		f, err := parser.ParseFile(fset, gf, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if m, ok := cfg.ImportMap[path]; ok {
+			path = m
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	pkg, err := analysis.TypecheckFiles(fset, cfg.ImportPath, cfg.Dir, files, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	diags, err := analysis.RunPackage(pkg, active)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if len(diags) > 0 {
+		printDiags(diags)
+		return 2 // vet's diagnostics-found exit status
+	}
+	return 0
+}

@@ -1,0 +1,216 @@
+// Package analysis implements blaeu-lint: a suite of project-specific
+// static analyzers that enforce the invariants everything in this repo
+// rests on — pinned-seed determinism in the algorithmic core, lock
+// discipline in the scheduler and session tiers, and context/deadline
+// propagation through the request stack. No stock linter checks these;
+// -race and reviewer vigilance were the only guards before this suite.
+//
+// The framework is a deliberately small, dependency-free analogue of
+// golang.org/x/tools/go/analysis (that module is not vendored here):
+// an Analyzer holds a Run function over a type-checked Pass, packages
+// are loaded through `go list -export` plus the standard library's
+// gc-export-data importer (see load.go), and cmd/blaeu-lint drives the
+// suite standalone or as a `go vet -vettool`.
+//
+// Suppression: a finding can be silenced with
+//
+//	//blaeu:nolint <analyzer> <reason>
+//
+// placed at the end of the offending line or alone on the line above.
+// The reason is mandatory and suppressions that silence nothing are
+// themselves reported, so stale exemptions cannot accumulate.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and nolint comments.
+	Name string
+	// Doc is a short description of what the analyzer enforces.
+	Doc string
+	// Scope lists the import-path suffixes the analyzer applies to
+	// (e.g. "internal/cluster"). Empty means every package. The driver
+	// consults it via AppliesTo; tests invoke Run directly.
+	Scope []string
+	// Run reports findings on the pass via Pass.Reportf.
+	Run func(*Pass) error
+}
+
+// AppliesTo reports whether the analyzer's scope covers the package.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, s := range a.Scope {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer run over one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(token.Pos, string)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, fmt.Sprintf(format, args...))
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// frameworkName labels diagnostics produced by the suppression
+// machinery itself (bad or unused nolint comments); these are not
+// suppressible.
+const frameworkName = "nolint"
+
+// suppression is one parsed //blaeu:nolint comment.
+type suppression struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// nolintPrefix introduces a suppression comment.
+const nolintPrefix = "blaeu:nolint"
+
+var nolintRe = regexp.MustCompile(`^blaeu:nolint(?:\s+(\S+))?(?:\s+(.*))?$`)
+
+// parseSuppressions extracts every //blaeu:nolint comment of the file.
+// Malformed comments (no analyzer name or no reason) are reported
+// immediately via report.
+func parseSuppressions(fset *token.FileSet, f *ast.File, known map[string]bool, report func(Diagnostic)) []*suppression {
+	var out []*suppression
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, nolintPrefix) {
+				continue
+			}
+			// A nested "// ..." marker starts a trailing note (used by the
+			// analyzer's own testdata); it is not part of the reason.
+			if i := strings.Index(text, " // "); i >= 0 {
+				text = strings.TrimSpace(text[:i])
+			}
+			pos := fset.Position(c.Pos())
+			m := nolintRe.FindStringSubmatch(text)
+			if m == nil || m[1] == "" {
+				report(Diagnostic{Pos: pos, Analyzer: frameworkName,
+					Message: "malformed suppression: want //blaeu:nolint <analyzer> <reason>"})
+				continue
+			}
+			if !known[m[1]] {
+				report(Diagnostic{Pos: pos, Analyzer: frameworkName,
+					Message: fmt.Sprintf("suppression names unknown analyzer %q", m[1])})
+				continue
+			}
+			if strings.TrimSpace(m[2]) == "" {
+				report(Diagnostic{Pos: pos, Analyzer: frameworkName,
+					Message: fmt.Sprintf("suppression of %q without a reason", m[1])})
+				continue
+			}
+			out = append(out, &suppression{pos: pos, analyzer: m[1], reason: strings.TrimSpace(m[2])})
+		}
+	}
+	return out
+}
+
+// covers reports whether the suppression silences a diagnostic of the
+// given analyzer at the given position: same file, same line or the
+// line directly below the comment.
+func (s *suppression) covers(d Diagnostic) bool {
+	if s.analyzer != d.Analyzer || s.pos.Filename != d.Pos.Filename {
+		return false
+	}
+	return d.Pos.Line == s.pos.Line || d.Pos.Line == s.pos.Line+1
+}
+
+// RunPackage runs the given analyzers over one loaded package, applies
+// //blaeu:nolint suppressions, reports unused ones, and returns the
+// surviving diagnostics sorted by position. Analyzer scope is NOT
+// consulted here — the caller filters (the driver respects Scope, the
+// tests bypass it).
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	var sups []*suppression
+	for _, f := range pkg.Files {
+		sups = append(sups, parseSuppressions(pkg.Fset, f, known,
+			func(d Diagnostic) { diags = append(diags, d) })...)
+	}
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		name := a.Name
+		pass.report = func(pos token.Pos, msg string) {
+			d := Diagnostic{Pos: pkg.Fset.Position(pos), Analyzer: name, Message: msg}
+			for _, s := range sups {
+				if s.covers(d) {
+					s.used = true
+					return
+				}
+			}
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
+		}
+	}
+	for _, s := range sups {
+		if !s.used {
+			diags = append(diags, Diagnostic{Pos: s.pos, Analyzer: frameworkName,
+				Message: fmt.Sprintf("unused suppression of %q (nothing to silence here)", s.analyzer)})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}
+
+// All returns the blaeu-lint analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, Lockcheck, Ctxcheck}
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Ctxcheck enforces context propagation through the serving stack
+// (jobs → session → server), so cancellation and deadlines reach the
+// work they are supposed to stop:
+//
+//   - a function that already has a context — a context.Context
+//     parameter, or the handler shape (http.ResponseWriter,
+//     *http.Request) with r.Context() at hand — must thread it:
+//     context.Background()/context.TODO() anywhere inside (closures
+//     included) is reported;
+//   - an exported function without a context that passes
+//     context.Background()/TODO() to a context-taking call should
+//     accept and thread one instead. Feeding Background to the context
+//     package's own constructors (context.WithCancel etc.) is exempt:
+//     that is how legitimate roots (a scheduler's job root) are minted;
+//   - context.Context struct fields are banned — contexts flow through
+//     call paths, not state — except in the scheduler's job-state
+//     structs (a struct named Job in internal/jobs), where the stored
+//     context is the job's documented cancellation handle.
+var Ctxcheck = &Analyzer{
+	Name:  "ctxcheck",
+	Doc:   "require context threading on request paths and forbid stored contexts outside job state",
+	Scope: []string{"internal/jobs", "internal/session", "internal/server"},
+	Run:   runCtxcheck,
+}
+
+func runCtxcheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				checkFuncContexts(pass, d)
+			case *ast.GenDecl:
+				checkStructFields(pass, d)
+			}
+		}
+	}
+	return nil
+}
+
+func isContextType(t types.Type) bool {
+	return t != nil && t.String() == "context.Context"
+}
+
+// hasCtxParam reports whether the function type declares a
+// context.Context parameter.
+func hasCtxParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isHandlerShaped matches func(w http.ResponseWriter, r *http.Request).
+func isHandlerShaped(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	var ts []string
+	for _, field := range ft.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			ts = append(ts, tv.Type.String())
+		}
+	}
+	return len(ts) == 2 && ts[0] == "net/http.ResponseWriter" && ts[1] == "*net/http.Request"
+}
+
+func checkFuncContexts(pass *Pass, fd *ast.FuncDecl) {
+	hasCtx := hasCtxParam(pass, fd.Type) || isHandlerShaped(pass, fd.Type)
+	walkCtx(pass, fd.Body, hasCtx, fd.Name.IsExported())
+}
+
+// walkCtx walks a function body; closures inherit the enclosing
+// function's context availability lexically, and a ctx parameter of
+// their own counts too.
+func walkCtx(pass *Pass, body ast.Node, hasCtx, exported bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			walkCtx(pass, n.Body, hasCtx || hasCtxParam(pass, n.Type) || isHandlerShaped(pass, n.Type), exported)
+			return false
+		case *ast.CallExpr:
+			checkCall(pass, n, hasCtx, exported)
+		}
+		return true
+	})
+}
+
+// freshContextCall matches context.Background() / context.TODO() and
+// returns the function name.
+func freshContextCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+func checkCall(pass *Pass, call *ast.CallExpr, hasCtx, exported bool) {
+	if name, ok := freshContextCall(pass, call); ok {
+		if hasCtx {
+			pass.Reportf(call.Pos(), "context.%s() on a request path: the enclosing function already has a context — thread it", name)
+		}
+		return
+	}
+	if hasCtx || !exported {
+		return
+	}
+	// Exported function without a context feeding Background/TODO into a
+	// context-taking call: it should accept and thread a context.
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+		return // minting a root via the context package itself is legitimate
+	}
+	for _, arg := range call.Args {
+		inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if name, ok := freshContextCall(pass, inner); ok {
+			callee := "the callee"
+			if fn != nil {
+				callee = fn.Name()
+			}
+			pass.Reportf(inner.Pos(), "exported API passes context.%s() to %s: accept and thread a caller context instead", name, callee)
+		}
+	}
+}
+
+// checkStructFields reports context.Context struct fields outside the
+// job-state exemption.
+func checkStructFields(pass *Pass, gd *ast.GenDecl) {
+	for _, spec := range gd.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		if ts.Name.Name == "Job" && strings.HasSuffix(pass.Pkg.Path(), "internal/jobs") {
+			continue // the scheduler's job-state struct owns its context
+		}
+		for _, field := range st.Fields.List {
+			var ft types.Type
+			if len(field.Names) > 0 {
+				if obj := pass.TypesInfo.ObjectOf(field.Names[0]); obj != nil {
+					ft = obj.Type()
+				}
+			} else if tv, ok := pass.TypesInfo.Types[field.Type]; ok {
+				ft = tv.Type
+			}
+			if isContextType(ft) {
+				pass.Reportf(field.Pos(), "context.Context struct field in %s: contexts flow through call paths, not state (only job-state structs may store one)", ts.Name.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Package ctxcheck is analyzer testdata. `want` comments assert the
+// diagnostics the ctxcheck analyzer must (and must not) produce.
+package ctxcheck
+
+import (
+	"context"
+	"net/http"
+)
+
+type worker struct{}
+
+func (w *worker) Run(ctx context.Context) error { return ctx.Err() }
+
+// Threaded is a negative example: the caller's context flows through.
+func Threaded(ctx context.Context, w *worker) error {
+	return w.Run(ctx)
+}
+
+func Dropped(ctx context.Context, w *worker) error {
+	return w.Run(context.Background()) // want `context.Background`
+}
+
+func TODOUsed(ctx context.Context, w *worker) error {
+	return w.Run(context.TODO()) // want `context.TODO`
+}
+
+// dropped shows the rule also binds unexported functions once they
+// accept a context.
+func dropped(ctx context.Context, w *worker) error {
+	return w.Run(context.Background()) // want `context.Background`
+}
+
+func Handler(rw http.ResponseWriter, r *http.Request) {
+	_ = context.Background() // want `context.Background`
+}
+
+// HandlerOK is a negative example: the handler uses the request's
+// context.
+func HandlerOK(rw http.ResponseWriter, r *http.Request) {
+	_ = r.Context()
+}
+
+func Fresh(w *worker) error {
+	return w.Run(context.Background()) // want `accept and thread`
+}
+
+func Spawn(w *worker) {
+	go func() {
+		_ = w.Run(context.Background()) // want `accept and thread`
+	}()
+}
+
+// Derived is a negative example: a closure that received its own
+// context threads it.
+func Derived(w *worker) func(context.Context) error {
+	return func(ctx context.Context) error {
+		return w.Run(ctx)
+	}
+}
+
+// Detach is a negative example: feeding Background to the context
+// package's own constructors is how legitimate roots are minted.
+func Detach() (context.Context, context.CancelFunc) {
+	return context.WithCancel(context.Background())
+}
+
+// root is a negative example: unexported plumbing with no context may
+// mint one.
+func root(w *worker) error {
+	return w.Run(context.Background())
+}
+
+type request struct {
+	ctx context.Context // want `struct field`
+}
+
+// Job is still flagged here: the job-state exemption is keyed to the
+// scheduler package, not to the bare type name.
+type Job struct {
+	ctx context.Context // want `struct field`
+}
+
+// response is a negative example: a reasoned nolint marks a documented
+// job-state-like record.
+type response struct {
+	//blaeu:nolint ctxcheck this record is the cancellation handle of a detached build
+	ctx context.Context
+}
+
+var _ = request{}
+var _ = Job{}
+var _ = response{}

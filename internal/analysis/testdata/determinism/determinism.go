@@ -1,0 +1,100 @@
+// Package determinism is analyzer testdata. `want` comments assert the
+// diagnostics the determinism analyzer must (and must not) produce.
+package determinism
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Stamp() time.Time {
+	return time.Now() // want `wall clock`
+}
+
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall clock`
+}
+
+func GlobalRand() int {
+	return rand.Intn(10) // want `global math/rand`
+}
+
+// SeededRand is a negative example: methods on an injected generator
+// are the sanctioned randomness source.
+func SeededRand(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+// NewSeeded is a negative example: generator constructors do not draw
+// from the global source.
+func NewSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func MapOrderLeak(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `map iteration order`
+	}
+	return out
+}
+
+// MapOrderSorted is a negative example: the sort after the loop
+// re-establishes a deterministic order.
+func MapOrderSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func FloatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += math.Sqrt(v) // want `float accumulation`
+	}
+	return sum
+}
+
+// IntAccum is a negative example: integer accumulation is associative,
+// so visit order cannot change the result.
+func IntAccum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Suppressed is a negative example: the finding on the append is
+// silenced by a reasoned nolint comment.
+func Suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//blaeu:nolint determinism callers treat the result as a set
+		out = append(out, k)
+	}
+	return out
+}
+
+func UnusedSuppression(m map[string]int) int {
+	//blaeu:nolint determinism nothing here trips the analyzer // want `unused suppression`
+	return len(m)
+}
+
+func UnknownAnalyzer() {
+	//blaeu:nolint nosuchcheck whatever the reason // want `unknown analyzer`
+}
+
+func MissingReason(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//blaeu:nolint determinism // want `without a reason`
+		out = append(out, k) // want `map iteration order`
+	}
+	return out
+}

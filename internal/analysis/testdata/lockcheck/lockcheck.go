@@ -1,0 +1,151 @@
+// Package lockcheck is analyzer testdata. `want` comments assert the
+// diagnostics the lockcheck analyzer must (and must not) produce.
+package lockcheck
+
+import "sync"
+
+type guarded struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	items []int
+	ch    chan int
+}
+
+// Deferred is a negative example: the canonical defer pairing.
+func (g *guarded) Deferred() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.items = append(g.items, 1)
+}
+
+// Straight is a negative example: an explicit unlock on the
+// fall-through path.
+func (g *guarded) Straight() {
+	g.mu.Lock()
+	g.items = append(g.items, 1)
+	g.mu.Unlock()
+}
+
+// EarlyExit is a negative example: every path out releases the lock.
+func (g *guarded) EarlyExit(stop bool) {
+	g.mu.Lock()
+	if stop {
+		g.mu.Unlock()
+		return
+	}
+	g.items = append(g.items, 1)
+	g.mu.Unlock()
+}
+
+func (g *guarded) LeakOnReturn(stop bool) {
+	g.mu.Lock()
+	if stop {
+		return // want `holding g.mu`
+	}
+	g.mu.Unlock()
+}
+
+func (g *guarded) NeverReleased() {
+	g.mu.Lock() // want `not released`
+	g.items = append(g.items, 1)
+}
+
+func (g *guarded) ReadLeak(stop bool) int {
+	g.rw.RLock()
+	if stop {
+		return 0 // want `holding g.rw`
+	}
+	n := len(g.items)
+	g.rw.RUnlock()
+	return n
+}
+
+func (g *guarded) SendWhileLocked(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ch <- v // want `channel send while holding g.mu`
+}
+
+func (g *guarded) RecvWhileLocked() int {
+	g.mu.Lock()
+	v := <-g.ch // want `channel receive while holding g.mu`
+	g.mu.Unlock()
+	return v
+}
+
+func (g *guarded) SelectWhileLocked() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want `select without default while holding g.mu`
+	case v := <-g.ch:
+		g.items = append(g.items, v)
+	}
+}
+
+// TrySelect is a negative example: select with a default never blocks.
+func (g *guarded) TrySelect() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case v := <-g.ch:
+		g.items = append(g.items, v)
+	default:
+	}
+}
+
+// RecvAfterUnlock is a negative example: the receive happens after the
+// lock is released.
+func (g *guarded) RecvAfterUnlock() int {
+	g.mu.Lock()
+	g.items = nil
+	g.mu.Unlock()
+	return <-g.ch
+}
+
+// WaitCond is a negative example: sync.Cond.Wait releases the lock
+// itself and is the sanctioned wait-under-lock shape.
+func (g *guarded) WaitCond(c *sync.Cond) {
+	c.L.Lock()
+	defer c.L.Unlock()
+	for len(g.items) == 0 {
+		c.Wait()
+	}
+}
+
+type pool struct{}
+
+func (p *pool) Submit(f func()) {}
+
+func (g *guarded) SubmitWhileLocked(p *pool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	p.Submit(func() {}) // want `call to Submit while holding g.mu`
+}
+
+// SubmitSuppressed is a negative example: the finding is silenced by a
+// reasoned nolint comment.
+func (g *guarded) SubmitSuppressed(p *pool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	//blaeu:nolint lockcheck submitting under the lock closes a submit/close race
+	p.Submit(func() {})
+}
+
+// Worker is a negative example: the scheduler's lock-handoff loop. The
+// lock is held entering the loop, released before running work and
+// retaken at the bottom; exits inside the loop unlock first.
+func (g *guarded) Worker() {
+	g.mu.Lock()
+	for {
+		if len(g.items) == 0 {
+			g.mu.Unlock()
+			return
+		}
+		g.items = g.items[1:]
+		g.mu.Unlock()
+		g.work()
+		g.mu.Lock()
+	}
+}
+
+func (g *guarded) work() {}

@@ -42,7 +42,10 @@ func (c *lruCache[K, V]) put(k K, v V) {
 		return
 	}
 	c.byKey[k] = c.order.PushFront(&lruEntry[K, V]{key: k, val: v})
-	for c.order.Len() > c.cap {
+	// The Len()>0 guard makes non-positive capacities mean "cache
+	// nothing" instead of draining past empty and dereferencing a nil
+	// Back() (cap -1 would otherwise crash on the first insert).
+	for c.order.Len() > c.cap && c.order.Len() > 0 {
 		last := c.order.Back()
 		c.order.Remove(last)
 		delete(c.byKey, last.Value.(*lruEntry[K, V]).key)

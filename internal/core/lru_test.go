@@ -1,0 +1,113 @@
+package core
+
+import "testing"
+
+// The generic LRU backs both reuse tiers (map cache and artifact
+// cache); both report its eviction counter over the wire but only
+// exercise it incidentally. These tests pin the semantics directly:
+// non-positive capacities, eviction order under access and
+// re-insertion, and counter accuracy.
+
+func lruKeys(c *lruCache[string, int]) []string {
+	var out []string
+	c.each(func(k string, _ int) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+func TestLRUZeroCapacityStoresNothing(t *testing.T) {
+	for _, capacity := range []int{0, -1} {
+		c := newLRU[string, int](capacity)
+		for i, k := range []string{"a", "b", "c"} {
+			c.put(k, i)
+			if _, ok := c.get(k); ok {
+				t.Fatalf("cap %d: get(%q) hit; a non-positive capacity must cache nothing", capacity, k)
+			}
+		}
+		if c.len() != 0 {
+			t.Fatalf("cap %d: len = %d, want 0", capacity, c.len())
+		}
+		if c.evictions != 3 {
+			t.Fatalf("cap %d: evictions = %d, want 3 (each insert immediately evicted)", capacity, c.evictions)
+		}
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := newLRU[string, int](3)
+	c.put("a", 1)
+	c.put("b", 2)
+	c.put("c", 3)
+	// Touch a: it becomes most recently used, so b is now the victim.
+	if v, ok := c.get("a"); !ok || v != 1 {
+		t.Fatalf("get(a) = %d,%v", v, ok)
+	}
+	c.put("d", 4)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived; LRU should have evicted it after a was touched")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%q evicted; want it retained", k)
+		}
+	}
+	if got := c.evictions; got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+}
+
+func TestLRUReinsertMovesToFrontWithoutEviction(t *testing.T) {
+	c := newLRU[string, int](3)
+	c.put("a", 1)
+	c.put("b", 2)
+	c.put("c", 3)
+	// Re-inserting an existing key replaces in place: no eviction, new
+	// value, bumped to most recently used.
+	c.put("a", 10)
+	if c.len() != 3 || c.evictions != 0 {
+		t.Fatalf("len=%d evictions=%d after re-insert, want 3 and 0", c.len(), c.evictions)
+	}
+	if v, _ := c.get("a"); v != 10 {
+		t.Fatalf("a = %d after re-insert, want 10", v)
+	}
+	if got := lruKeys(c); got[0] != "a" {
+		t.Fatalf("MRU order after re-insert = %v, want a first", got)
+	}
+	// b is now least recently used (a was re-inserted, then read; c sits
+	// between): inserting d must evict b.
+	c.put("d", 4)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived; re-insertion of a should have left b as the victim")
+	}
+	if c.evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.evictions)
+	}
+}
+
+func TestLRUEvictionCounterAccumulates(t *testing.T) {
+	c := newLRU[int, int](2)
+	for i := 0; i < 10; i++ {
+		c.put(i, i)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	if c.evictions != 8 {
+		t.Fatalf("evictions = %d, want 8 (10 inserts into a 2-slot cache)", c.evictions)
+	}
+	// The survivors are the two most recent inserts, newest first.
+	if got := lruKeys2(c); got[0] != 9 || got[1] != 8 {
+		t.Fatalf("surviving keys = %v, want [9 8]", got)
+	}
+}
+
+func lruKeys2(c *lruCache[int, int]) []int {
+	var out []int
+	c.each(func(k int, _ int) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}

@@ -329,3 +329,20 @@ func TestProgressClampedAndMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestOverloadEpisodeHonoursContext: RunOverloadEpisode used to mint
+// context.Background() for its waits, so a caller had no way to bound
+// the episode. With a cancelled context every wait returns immediately
+// and no completion is recorded.
+func TestOverloadEpisodeHonoursContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := OverloadConfig{Workers: 1, Sessions: 2, PerSession: 3, JobCost: time.Millisecond}
+	res := RunOverloadEpisode(ctx, cfg)
+	if res.Submitted != 6 {
+		t.Fatalf("Submitted = %d, want 6", res.Submitted)
+	}
+	if res.Completed != 0 {
+		t.Fatalf("Completed = %d with a cancelled context, want 0 (waits must honour ctx)", res.Completed)
+	}
+}

@@ -50,8 +50,9 @@ type OverloadResult struct {
 // RunOverloadEpisode saturates a fresh pool per cfg and reports the
 // outcome. It is the measurement core behind BenchmarkSchedulerOverload
 // and `blaeu-bench -pam-json`; it lives with the scheduler so the two
-// stay one workload.
-func RunOverloadEpisode(cfg OverloadConfig) OverloadResult {
+// stay one workload. Cancelling ctx abandons the waits on jobs still in
+// flight, so a caller's deadline bounds the episode.
+func RunOverloadEpisode(ctx context.Context, cfg OverloadConfig) OverloadResult {
 	p := NewPoolConfig(Config{
 		Workers: cfg.Workers,
 		Tenant:  func(session string) string { return session[:2] },
@@ -77,7 +78,7 @@ func RunOverloadEpisode(cfg OverloadConfig) OverloadResult {
 			wg.Add(1)
 			go func(j *Job, submitted time.Time) {
 				defer wg.Done()
-				if j.Wait(context.Background()) == nil {
+				if j.Wait(ctx) == nil {
 					mu.Lock()
 					latencies = append(latencies, time.Since(submitted))
 					mu.Unlock()

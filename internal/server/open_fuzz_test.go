@@ -1,0 +1,48 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzOpenOptions drives the session open-options validation — the
+// other untrusted-input parser — with arbitrary JSON: decoding plus
+// apply() must never panic, and whenever apply accepts, the resulting
+// engine options must be within validated bounds.
+func FuzzOpenOptions(f *testing.F) {
+	f.Add(`{"algorithm":"fasterpam","oracle":"sparse","seeding":"lab"}`)
+	f.Add(`{"algorithm":"classic","mapCacheSize":4,"artifactCacheSize":2}`)
+	f.Add(`{"mapCacheSize":-1}`)
+	f.Add(`{"mapCacheSize":99999}`)
+	f.Add(`{"algorithm":"bogus"}`)
+	f.Add(`{"mapCacheSize":null,"artifactCacheSize":0}`)
+	f.Add(`{}`)
+	f.Fuzz(func(t *testing.T, raw string) {
+		var c clusterOptionsJSON
+		if err := json.Unmarshal([]byte(raw), &c); err != nil {
+			return
+		}
+		opts := core.DefaultOptions()
+		base := opts
+		if err := c.apply(&opts); err != nil {
+			return
+		}
+		for name, v := range map[string]int{
+			"mapCacheSize":      opts.MapCacheSize,
+			"artifactCacheSize": opts.ArtifactCacheSize,
+		} {
+			if v < -1 || v > maxCacheEntries {
+				t.Fatalf("apply accepted %s=%d outside [-1,%d] (input %q)", name, v, maxCacheEntries, raw)
+			}
+		}
+		// A zero override must keep the server default, not zero the cache.
+		if c.MapCacheSize != nil && *c.MapCacheSize == 0 && opts.MapCacheSize != base.MapCacheSize {
+			t.Fatalf("mapCacheSize=0 overrode the default: %d", opts.MapCacheSize)
+		}
+		if c.ArtifactCacheSize != nil && *c.ArtifactCacheSize == 0 && opts.ArtifactCacheSize != base.ArtifactCacheSize {
+			t.Fatalf("artifactCacheSize=0 overrode the default: %d", opts.ArtifactCacheSize)
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -298,6 +299,10 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 	for name, t := range s.datasets {
 		out = append(out, ds{Name: name, Rows: t.NumRows(), Cols: t.NumCols()})
 	}
+	// Sorted by name: ranging over the dataset map would otherwise leak
+	// map iteration order into the payload, so the same server would
+	// answer the same request with differently ordered JSON run to run.
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	writeJSON(w, http.StatusOK, out)
 }
 

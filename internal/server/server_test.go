@@ -455,3 +455,41 @@ func TestStateEndpointShape(t *testing.T) {
 	}
 	_ = fmt.Sprintf("%v", st)
 }
+
+// TestDatasetsPayloadStable: the dataset listing is built by ranging
+// over a map; without the sort the array order leaked map iteration
+// order, so the same server answered the same request with differently
+// ordered JSON run to run. The payload must be byte-stable and sorted
+// by name.
+func TestDatasetsPayloadStable(t *testing.T) {
+	ts := testServer(t)
+	fetch := func() string {
+		res, err := http.Get(ts.URL + "/api/datasets")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(res.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := fetch()
+	var ds []struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal([]byte(first), &ds); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i-1].Name >= ds[i].Name {
+			t.Fatalf("dataset listing not sorted by name: %v before %v", ds[i-1].Name, ds[i].Name)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if got := fetch(); got != first {
+			t.Fatalf("payload changed between identical requests:\n%s\nvs\n%s", first, got)
+		}
+	}
+}

@@ -63,6 +63,7 @@ func (m *Manager) Submit(id string, act Action) (*jobs.Job, error) {
 	if !ok {
 		return nil, fmt.Errorf("session: no session %q", id)
 	}
+	//blaeu:nolint lockcheck enqueue-under-lock is the submit/close race fix; SubmitOpts refuses with ErrQueueFull instead of blocking
 	return s.Submit(m.pool, act)
 }
 

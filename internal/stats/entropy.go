@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/store"
 )
@@ -25,9 +26,19 @@ func entropyFromCounts(counts map[int]int, n int) float64 {
 	if n == 0 {
 		return 0
 	}
+	// Accumulate in sorted key order, not map order: float addition is
+	// not associative, so the low-order bits of H would otherwise vary
+	// run to run, and NormalizedMI feeds dependency-graph edge weights
+	// that pinned-seed tests compare bit for bit.
+	keys := make([]int, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
 	h := 0.0
 	fn := float64(n)
-	for _, c := range counts {
+	for _, k := range keys {
+		c := counts[k]
 		if c == 0 {
 			continue
 		}
@@ -77,10 +88,22 @@ func MutualInformation(x, y []int) float64 {
 	if m == 0 {
 		return 0
 	}
+	// Sorted-cell iteration for the same reason as entropyFromCounts:
+	// map-order float accumulation is nondeterministic in its low bits.
+	cells := make([][2]int, 0, len(joint))
+	for k := range joint {
+		cells = append(cells, k)
+	}
+	sort.Slice(cells, func(a, b int) bool {
+		if cells[a][0] != cells[b][0] {
+			return cells[a][0] < cells[b][0]
+		}
+		return cells[a][1] < cells[b][1]
+	})
 	fm := float64(m)
 	mi := 0.0
-	for k, c := range joint {
-		pxy := float64(c) / fm
+	for _, k := range cells {
+		pxy := float64(joint[k]) / fm
 		px := float64(cx[k[0]]) / fm
 		py := float64(cy[k[1]]) / fm
 		mi += pxy * math.Log(pxy/(px*py))

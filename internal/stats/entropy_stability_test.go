@@ -1,0 +1,52 @@
+package stats
+
+import "testing"
+
+// These are regression tests for the map-iteration-order fix in
+// entropyFromCounts / MutualInformation's sparse path: float addition
+// is not associative, so accumulating in map order let the low bits of
+// H and MI wander between calls in the same process (Go randomizes map
+// iteration order per range). The fixed code iterates sorted keys, so
+// repeated calls must agree bit for bit.
+
+// manyLabels builds a label vector with a large alphabet and uneven
+// counts, so the accumulation order has many float terms to disagree
+// over.
+func manyLabels(n, alphabet, stride int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = (i * stride) % alphabet
+	}
+	return out
+}
+
+func TestEntropyBitStable(t *testing.T) {
+	labels := manyLabels(5000, 700, 13)
+	want := Entropy(labels)
+	for i := 0; i < 50; i++ {
+		if got := Entropy(labels); got != want {
+			t.Fatalf("call %d: Entropy = %.17g, first call gave %.17g (map-order accumulation leaked)", i, got, want)
+		}
+	}
+}
+
+func TestMutualInformationSparseBitStable(t *testing.T) {
+	// Alphabets above denseMILimit force the sparse map-backed path.
+	x := manyLabels(6000, denseMILimit+44, 7)
+	y := manyLabels(6000, denseMILimit+101, 11)
+	if got := MutualInformation(x, y); got <= 0 {
+		t.Fatalf("degenerate fixture: MI = %v", got)
+	}
+	want := MutualInformation(x, y)
+	for i := 0; i < 50; i++ {
+		if got := MutualInformation(x, y); got != want {
+			t.Fatalf("call %d: MI = %.17g, first call gave %.17g (map-order accumulation leaked)", i, got, want)
+		}
+	}
+	wantNMI := NormalizedMI(x, y)
+	for i := 0; i < 20; i++ {
+		if got := NormalizedMI(x, y); got != wantNMI {
+			t.Fatalf("call %d: NMI = %.17g, first call gave %.17g", i, got, wantNMI)
+		}
+	}
+}

@@ -233,14 +233,27 @@ func buildColumn(name string, typ Type, rows [][]string, j int, opts *CSVOptions
 }
 
 // WriteCSV renders the table as CSV with a header row. Nulls render as
-// empty cells.
+// empty cells. A single-column row whose only cell is empty is written
+// as `""` rather than a blank line: encoding/csv skips blank lines on
+// read, so the bare form would silently drop the row on a round trip.
 func WriteCSV(w io.Writer, t *Table) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(t.ColumnNames()); err != nil {
 		return err
 	}
 	for i := 0; i < t.NumRows(); i++ {
-		if err := cw.Write(t.Row(i)); err != nil {
+		row := t.Row(i)
+		if len(row) == 1 && row[0] == "" {
+			cw.Flush()
+			if err := cw.Error(); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(w, "\"\"\n"); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := cw.Write(row); err != nil {
 			return err
 		}
 	}
