@@ -1,7 +1,7 @@
 # Developer entry points; CI runs the same commands (see
 # .github/workflows/ci.yml).
 
-.PHONY: build test race bench bench-smoke bench-pam benchstat vet race-jobs race-derived lint fmt-check fuzz-smoke vuln
+.PHONY: build test race bench bench-smoke bench-pam bench-store benchstat vet race-jobs race-derived race-store lint fmt-check fuzz-smoke vuln
 
 # The scheduler subsystem under the race detector (also a CI step),
 # plus extra iterations of the backpressure overload stress.
@@ -15,6 +15,12 @@ race-jobs:
 # memo.
 race-derived:
 	go test -race -count=2 -run 'ConcurrentDerived|DerivedOraclesConcurrent' ./internal/core/... ./internal/cluster/...
+
+# The storage engine's buffer pool and segment scans under the race
+# detector (also a CI step): concurrent readers through one pool,
+# eviction under pinning, single-flight load dedup.
+race-store:
+	go test -race -count=3 -run 'Pool|Concurrent' ./internal/store/...
 
 build:
 	go build ./...
@@ -41,12 +47,14 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# Short fuzz passes over the two untrusted-input parsers (CSV ingestion,
-# session open-options JSON) so the harnesses and corpora don't bit-rot.
-# Real fuzzing: raise -fuzztime and let it run.
+# Short fuzz passes over the untrusted-input parsers (CSV ingestion,
+# session open-options JSON, segment files) so the harnesses and corpora
+# don't bit-rot. Real fuzzing: raise -fuzztime and let it run.
 fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=10s ./internal/store
 	go test -run='^$$' -fuzz=FuzzOpenOptions -fuzztime=10s ./internal/server
+	go test -run='^$$' -fuzz=FuzzSegmentFooter -fuzztime=10s ./internal/store/segment
+	go test -run='^$$' -fuzz=FuzzSegmentOpen -fuzztime=10s ./internal/store/segment
 
 # Known-vulnerability scan over the module and its (stdlib-only)
 # dependency graph. Installs govulncheck if absent — needs network, so
@@ -59,9 +67,11 @@ vuln:
 bench:
 	go test -bench=. -benchmem -run '^$$' .
 
-# One iteration of every benchmark — the CI bit-rot guard.
+# One iteration of every benchmark — the CI bit-rot guard. Includes the
+# storage-engine scan/filter benchmarks.
 bench-smoke:
 	go test -bench=. -benchtime=1x -run '^$$' .
+	go test -bench=. -benchtime=1x -run '^$$' ./internal/store
 
 # Regenerate BENCH_pam.json, the tracked perf trajectory: the PAM
 # matrix (oracle strategies × seeding schemes) plus the scheduler
@@ -71,6 +81,16 @@ bench-smoke:
 # just diffable.
 bench-pam:
 	go run ./cmd/blaeu-bench -pam-json BENCH_pam.json
+	mkdir -p bench_history
+	cp BENCH_pam.json bench_history/$$(git rev-parse --short HEAD).json
+
+# Record the out-of-core storage section of BENCH_pam.json: a 10M-row
+# CSV is generated, converted to a segment, opened under a 256 MiB page
+# budget, then sampled and filtered both naively (per-row
+# Predicate.Matches) and vectorized (page-at-a-time with zone maps).
+# Other sections of the file are preserved.
+bench-store:
+	go run ./cmd/blaeu-bench -store-json BENCH_pam.json
 	mkdir -p bench_history
 	cp BENCH_pam.json bench_history/$$(git rev-parse --short HEAD).json
 

@@ -63,6 +63,14 @@ import (
 type (
 	// Table is an in-memory columnar table (the storage substrate).
 	Table = store.Table
+	// Relation is the read-only interface both storage backings satisfy:
+	// in-memory Tables and out-of-core SegmentTables. Explorers run over
+	// either.
+	Relation = store.Relation
+	// SegmentTable is a relation served from an on-disk segment file
+	// through a byte-budgeted buffer pool, for datasets too large to
+	// load (see internal/store/segment for the format).
+	SegmentTable = store.SegmentTable
 	// Column is one typed, nullable column of a Table.
 	Column = store.Column
 	// Explorer is an exploration session over one table.
@@ -96,6 +104,25 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 // Open starts an exploration session: it detects the table's themes and
 // initializes the selection to the full table.
 func Open(t *Table, opts Options) (*Explorer, error) { return core.NewExplorer(t, opts) }
+
+// OpenRelation starts an exploration session over any relation —
+// in-memory or segment-backed. Results are identical across backings
+// on the same data and seed.
+func OpenRelation(t Relation, opts Options) (*Explorer, error) { return core.NewExplorer(t, opts) }
+
+// BuildSegment streams a CSV file into an on-disk segment file with
+// memory bounded by columns × rows-per-page. Type inference matches
+// ReadCSV, so segment-backed exploration reproduces in-memory results.
+// It returns the number of rows written.
+func BuildSegment(csvPath, segPath string, opts *store.SegmentBuildOptions) (int64, error) {
+	return store.BuildSegment(csvPath, segPath, opts)
+}
+
+// OpenSegmentTable opens a segment file as a relation, caching pages in
+// a buffer pool of at most pageBudget bytes.
+func OpenSegmentTable(path string, pageBudget int64) (*SegmentTable, error) {
+	return store.OpenSegmentTable(path, pageBudget)
+}
 
 // ReadCSV parses a CSV stream (with header) into a typed table, inferring
 // column types.

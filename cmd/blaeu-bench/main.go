@@ -28,6 +28,8 @@ func main() {
 	verbose := flag.Bool("v", false, "include rendered maps in the output")
 	list := flag.Bool("list", false, "list experiments")
 	pamJSON := flag.String("pam-json", "", "write the PAM perf matrix (oracles × seedings) to this JSON file and exit")
+	storeJSON := flag.String("store-json", "", "record the out-of-core storage bench into this JSON file and exit")
+	storeRows := flag.Int("store-rows", 10_000_000, "row count for the storage bench")
 	diff := flag.Bool("diff", false, "compare two recorded snapshots (args: old.json new.json) and exit")
 	flag.Parse()
 
@@ -46,6 +48,14 @@ func main() {
 	if *pamJSON != "" {
 		if err := writePAMBench(*pamJSON, *seed, *scale); err != nil {
 			fmt.Fprintf(os.Stderr, "pam-json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *storeJSON != "" {
+		if err := writeStoreBench(*storeJSON, *storeRows, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "store-json: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -16,7 +16,14 @@
 //	blaeud [-addr :8080] [-seed 1] [-sample 2000] [-lofar-n 200000] [-session-ttl 1h]
 //	       [-max-queued 1024] [-max-queued-per-session 16]
 //	       [-map-cache 0] [-artifact-cache 0]
-//	       [-tenant-weights gold=4,free=1] [-tenant-max-in-flight 0] [file.csv ...]
+//	       [-tenant-weights gold=4,free=1] [-tenant-max-in-flight 0]
+//	       [-page-budget-mb 256] [file.csv | file.seg ...]
+//
+// Files ending in .seg are opened as out-of-core paged columnar
+// segments (see internal/store/segment, cmd/blaeu-convert): rows stay
+// on disk and pages stream through a buffer pool shared across all
+// segment datasets, capped at -page-budget-mb. That is how a 10M+ row
+// dataset is served without loading it into memory.
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/session"
 	"repro/internal/store"
+	"repro/internal/store/segment"
 )
 
 // parseWeights parses a "name=weight,name=weight" flag into a tenant
@@ -72,6 +80,7 @@ func main() {
 	sessionQueue := flag.Int("max-queued-per-session", 16, "per-session queued-job cap; beyond it 429 (0 = unbounded)")
 	tenantWeights := flag.String("tenant-weights", "", "weighted-round-robin weights per tenant, e.g. gold=4,free=1 (unlisted tenants weigh 1)")
 	tenantInFlight := flag.Int("tenant-max-in-flight", 0, "max concurrently running jobs per tenant (0 = unbounded)")
+	pageBudgetMB := flag.Int64("page-budget-mb", 256, "buffer-pool byte budget (MiB) shared by all .seg datasets")
 	flag.Parse()
 
 	weights, err := parseWeights(*tenantWeights)
@@ -79,7 +88,7 @@ func main() {
 		log.Fatalf("-tenant-weights: %v", err)
 	}
 
-	datasets := make(map[string]*store.Table)
+	datasets := make(map[string]store.Relation)
 	if !*noBuiltin {
 		log.Printf("generating built-in demo datasets (seed %d)...", *seed)
 		datasets["hollywood"] = datagen.Hollywood(rand.New(rand.NewSource(*seed))).Table
@@ -89,7 +98,22 @@ func main() {
 				rand.New(rand.NewSource(*seed+2))).Table
 		}
 	}
+	var segPool *segment.Pool
 	for _, path := range flag.Args() {
+		if strings.HasSuffix(path, ".seg") {
+			if segPool == nil {
+				segPool = segment.NewPool(*pageBudgetMB << 20)
+			}
+			t, err := store.OpenSegmentTableWith(path, segPool)
+			if err != nil {
+				log.Fatalf("loading %s: %v", path, err)
+			}
+			defer t.Close()
+			datasets[t.Name()] = t
+			log.Printf("opened segment %s: %d rows × %d cols (page budget %d MiB shared)",
+				t.Name(), t.NumRows(), t.NumCols(), *pageBudgetMB)
+			continue
+		}
 		t, err := store.ReadCSVFile(path, nil)
 		if err != nil {
 			log.Fatalf("loading %s: %v", path, err)

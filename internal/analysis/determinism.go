@@ -29,6 +29,7 @@ var Determinism = &Analyzer{
 	Scope: []string{
 		"internal/cluster", "internal/core", "internal/prep",
 		"internal/graph", "internal/stats",
+		"internal/store", "internal/store/segment",
 	},
 	Run: runDeterminism,
 }

@@ -89,6 +89,8 @@ func TestAppliesTo(t *testing.T) {
 		want bool
 	}{
 		{Determinism, "repro/internal/stats", true},
+		{Determinism, "repro/internal/store", true},
+		{Determinism, "repro/internal/store/segment", true},
 		{Determinism, "repro/internal/server", false},
 		{Lockcheck, "repro/internal/jobs", true},
 		{Lockcheck, "repro/internal/graph", false},

@@ -47,7 +47,7 @@ type State struct {
 // execute on a scheduler worker while the owner's lock is released (see
 // MapBuild).
 type Explorer struct {
-	table  *store.Table
+	table  store.Relation
 	opts   Options
 	rng    *rand.Rand
 	metric stats.Distance
@@ -69,8 +69,11 @@ type Explorer struct {
 }
 
 // NewExplorer opens an exploration session: it detects the themes of the
-// table and initializes the state to the full selection.
-func NewExplorer(t *store.Table, opts Options) (*Explorer, error) {
+// table and initializes the state to the full selection. The relation
+// may be an in-memory *store.Table or a segment-backed
+// *store.SegmentTable — the pipeline samples, filters and gathers
+// through the Relation seam either way.
+func NewExplorer(t store.Relation, opts Options) (*Explorer, error) {
 	opts.defaults()
 	if t.NumRows() == 0 {
 		return nil, fmt.Errorf("core: table %q is empty", t.Name())
@@ -95,8 +98,8 @@ func NewExplorer(t *store.Table, opts Options) (*Explorer, error) {
 	return e, nil
 }
 
-// Table returns the underlying table.
-func (e *Explorer) Table() *store.Table { return e.table }
+// Table returns the underlying relation.
+func (e *Explorer) Table() store.Relation { return e.table }
 
 // Options returns the effective engine options (defaults applied),
 // including the PAM SWAP algorithm the session clusters with.

@@ -101,12 +101,7 @@ func (e *Explorer) Filter(pred store.Predicate) (*Map, error) {
 		return nil, fmt.Errorf("core: nil predicate")
 	}
 	cur := e.State()
-	var rows []int
-	for _, r := range cur.Rows {
-		if pred.Matches(e.table, r) {
-			rows = append(rows, r)
-		}
-	}
+	rows := store.FilterRows(e.table, pred, cur.Rows)
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("core: predicate %s matches no tuples in the selection", pred)
 	}

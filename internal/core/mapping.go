@@ -264,14 +264,7 @@ func (e *Explorer) regionsFromTree(node *tree.Node, rows []int, path []int, cond
 		return r
 	}
 	r.Split = node.Split
-	var yes, no []int
-	for _, row := range rows {
-		if node.Split.Matches(e.table, row) {
-			yes = append(yes, row)
-		} else {
-			no = append(no, row)
-		}
-	}
+	yes, no := store.PartitionRows(e.table, node.Split, rows)
 	neg := tree.Complement(node.Split, node.SplitMissing)
 	r.Children = []*Region{
 		e.regionsFromTree(node.Left, yes, append(path, 0), append(cond, node.Split), perCluster),

@@ -139,7 +139,7 @@ func (e *Explorer) AddTheme(cols []string) (int, error) {
 
 // clusterableColumns drops key-like columns; everything else participates
 // in theme detection.
-func clusterableColumns(t *store.Table) []string {
+func clusterableColumns(t store.Relation) []string {
 	var out []string
 	for _, name := range t.ColumnNames() {
 		c := t.ColumnByName(name)

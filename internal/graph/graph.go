@@ -127,7 +127,7 @@ func (m Measure) String() string {
 // BuildDependencyGraph computes the pairwise dependency between every pair
 // of the given columns of t (all columns when names is nil) and returns
 // the weighted graph.
-func BuildDependencyGraph(t *store.Table, names []string, opts DependencyOptions) (*Graph, error) {
+func BuildDependencyGraph(t store.Relation, names []string, opts DependencyOptions) (*Graph, error) {
 	if names == nil {
 		names = t.ColumnNames()
 	}

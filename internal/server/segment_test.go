@@ -1,0 +1,111 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/store"
+)
+
+// segmentTestServer serves the same planted-blobs dataset from both
+// backings: "mem" in memory and "seg" through a converted segment with
+// a small buffer pool.
+func segmentTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	ds := datagen.PlantedBlobs(datagen.BlobSpec{N: 400, K: 3, Dims: 4, Sep: 8}, rng)
+
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "blobs.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteCSV(f, ds.Table); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segPath := filepath.Join(dir, "blobs.seg")
+	if _, err := store.BuildSegment(csvPath, segPath, &store.SegmentBuildOptions{RowsPerPage: 64}); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := store.OpenSegmentTable(segPath, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { seg.Close() })
+
+	// Load the CSV back so both backings share the round-tripped values
+	// (the generated table renders floats at full precision either way).
+	mem, err := store.ReadCSVFile(csvPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem.SetName("mem")
+	seg.SetName("seg")
+
+	srv := New(map[string]store.Relation{"mem": mem, "seg": seg},
+		core.Options{Seed: 1, SampleSize: 400})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestSegmentDatasetServesIdenticalSessions drives the HTTP API over a
+// segment-backed dataset and its in-memory twin: both must open, build
+// the same themes, and navigate to the same maps.
+func TestSegmentDatasetServesIdenticalSessions(t *testing.T) {
+	ts := segmentTestServer(t)
+
+	navigate := func(dataset string) (any, any) {
+		id, st := openSession(t, ts, dataset)
+		themes := st["themes"]
+		base := ts.URL + "/api/sessions/" + id
+		sel := doJSON(t, "POST", base+"/select", map[string]int{"theme": 0}, http.StatusOK)
+		zoom := doJSON(t, "POST", base+"/zoom", map[string][]int{"path": {0}}, http.StatusOK)
+		return themes, []any{sel["map"], zoom["map"], zoom["rows"]}
+	}
+	memThemes, memMaps := navigate("mem")
+	segThemes, segMaps := navigate("seg")
+	if fmt.Sprintf("%v", memThemes) != fmt.Sprintf("%v", segThemes) {
+		t.Fatalf("themes diverge across backings:\n mem: %v\n seg: %v", memThemes, segThemes)
+	}
+	if fmt.Sprintf("%v", memMaps) != fmt.Sprintf("%v", segMaps) {
+		t.Fatalf("maps diverge across backings:\n mem: %v\n seg: %v", memMaps, segMaps)
+	}
+}
+
+// TestSegmentDatasetHighlight exercises the inspection path (stats over
+// segment columns) through the API.
+func TestSegmentDatasetHighlight(t *testing.T) {
+	ts := segmentTestServer(t)
+	id, _ := openSession(t, ts, "seg")
+	base := ts.URL + "/api/sessions/" + id
+	doJSON(t, "POST", base+"/select", map[string]int{"theme": 0}, http.StatusOK)
+	res, err := http.Get(base + "/highlight?column=v0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("highlight over segment dataset: status %d", res.StatusCode)
+	}
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "v0") {
+		t.Fatalf("highlight payload missing column: %s", body)
+	}
+}

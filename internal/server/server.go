@@ -26,7 +26,7 @@ import (
 type Server struct {
 	manager  *Manager
 	mux      *http.ServeMux
-	datasets map[string]*store.Table
+	datasets map[string]store.Relation
 	opts     core.Options
 }
 
@@ -37,7 +37,7 @@ type Manager = session.Manager
 // every explorer the server opens. The scheduler runs without
 // backpressure limits; use NewWith to configure queue caps, tenant
 // weights and quotas.
-func New(datasets map[string]*store.Table, opts core.Options) *Server {
+func New(datasets map[string]store.Relation, opts core.Options) *Server {
 	return NewWith(datasets, opts, session.NewManager())
 }
 
@@ -45,7 +45,7 @@ func New(datasets map[string]*store.Table, opts core.Options) *Server {
 // deployments can set the scheduler's backpressure policy (queue caps,
 // tenant weights, in-flight quotas — session.NewManagerConfig) before
 // handing it to the HTTP tier.
-func NewWith(datasets map[string]*store.Table, opts core.Options, m *Manager) *Server {
+func NewWith(datasets map[string]store.Relation, opts core.Options, m *Manager) *Server {
 	s := &Server{
 		manager:  m,
 		mux:      http.NewServeMux(),

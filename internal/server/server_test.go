@@ -20,7 +20,7 @@ func testServer(t *testing.T) *httptest.Server {
 	rng := rand.New(rand.NewSource(1))
 	ds := datagen.PlantedBlobs(datagen.BlobSpec{N: 400, K: 3, Dims: 4, Sep: 8}, rng)
 	hw := datagen.Hollywood(rand.New(rand.NewSource(2)))
-	srv := New(map[string]*store.Table{"blobs": ds.Table, "hollywood": hw.Table},
+	srv := New(map[string]store.Relation{"blobs": ds.Table, "hollywood": hw.Table},
 		core.Options{Seed: 1, SampleSize: 400})
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)

@@ -128,7 +128,7 @@ func (m *Manager) Pool() *jobs.Pool { return m.pool }
 // supplied its own, the scheduler is installed as the explorer's CLARA
 // fan-out runner, so per-sample PAM runs share the server's worker
 // budget instead of spawning free goroutines.
-func (m *Manager) Open(t *store.Table, opts core.Options) (*Session, error) {
+func (m *Manager) Open(t store.Relation, opts core.Options) (*Session, error) {
 	return m.OpenTenant(t, opts, "")
 }
 
@@ -137,7 +137,7 @@ func (m *Manager) Open(t *store.Table, opts core.Options) (*Session, error) {
 // accounting) under that tenant instead of standing alone. An empty
 // tenant falls back to the scheduler's tenant hook, then to the session
 // itself.
-func (m *Manager) OpenTenant(t *store.Table, opts core.Options, tenant string) (*Session, error) {
+func (m *Manager) OpenTenant(t store.Relation, opts core.Options, tenant string) (*Session, error) {
 	if opts.Runner == nil {
 		opts.Runner = m.pool
 	}

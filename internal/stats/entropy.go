@@ -188,14 +188,19 @@ func NormalizedMI(x, y []int) float64 {
 func DiscretizeColumn(c store.Column, bins int, method BinningMethod) []int {
 	n := c.Len()
 	out := make([]int, n)
+	// Dispatch on capability, not concrete type, so segment-backed
+	// columns discretize identically to in-memory ones: both expose
+	// dictionary codes (strings) or raw bools through the same methods,
+	// which is what keeps NMI — and hence theme detection — independent
+	// of the storage backing.
 	switch col := c.(type) {
-	case *store.StringColumn:
+	case interface{ Code(int) int32 }: // dictionary-encoded strings
 		for i := 0; i < n; i++ {
 			out[i] = int(col.Code(i)) // -1 for nulls
 		}
-	case *store.BoolColumn:
+	case interface{ Value(int) bool }: // bools
 		for i := 0; i < n; i++ {
-			if col.IsNull(i) {
+			if c.IsNull(i) {
 				out[i] = -1
 			} else if col.Value(i) {
 				out[i] = 1

@@ -119,7 +119,7 @@ func inferTypes(rows [][]string, ncols int, opts *CSVOptions) []Type {
 		limit = opts.MaxInferRows
 	}
 	for j := 0; j < ncols; j++ {
-		canInt, canFloat, canBool, seen := true, true, true, false
+		ts := newTypeSniffer()
 		for i := 0; i < limit; i++ {
 			if j >= len(rows[i]) {
 				continue
@@ -128,39 +128,12 @@ func inferTypes(rows [][]string, ncols int, opts *CSVOptions) []Type {
 			if opts.isNull(s) {
 				continue
 			}
-			seen = true
-			if canInt {
-				if _, err := strconv.ParseInt(s, 10, 64); err != nil {
-					canInt = false
-				}
-			}
-			if canFloat {
-				if _, err := strconv.ParseFloat(s, 64); err != nil {
-					canFloat = false
-				}
-			}
-			if canBool {
-				l := strings.ToLower(s)
-				if l != "true" && l != "false" {
-					canBool = false
-				}
-			}
-			if !canInt && !canFloat && !canBool {
+			ts.observe(s)
+			if ts.dead() {
 				break
 			}
 		}
-		switch {
-		case !seen:
-			types[j] = String
-		case canBool:
-			types[j] = Bool
-		case canInt:
-			types[j] = Int64
-		case canFloat:
-			types[j] = Float64
-		default:
-			types[j] = String
-		}
+		types[j] = ts.result()
 	}
 	return types
 }

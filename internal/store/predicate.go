@@ -10,7 +10,7 @@ import (
 // every region of a data map is described by a conjunction of predicates.
 type Predicate interface {
 	// Matches reports whether row i of t satisfies the predicate.
-	Matches(t *Table, i int) bool
+	Matches(t Relation, i int) bool
 	// String renders the predicate as a SQL-like expression.
 	String() string
 }
@@ -75,7 +75,7 @@ type NumCmp struct {
 }
 
 // Matches implements Predicate.
-func (p NumCmp) Matches(t *Table, i int) bool {
+func (p NumCmp) Matches(t Relation, i int) bool {
 	c := t.ColumnByName(p.Col)
 	if c == nil || c.IsNull(i) {
 		return false
@@ -113,7 +113,7 @@ type StrEq struct {
 }
 
 // Matches implements Predicate.
-func (p StrEq) Matches(t *Table, i int) bool {
+func (p StrEq) Matches(t Relation, i int) bool {
 	c := t.ColumnByName(p.Col)
 	if c == nil || c.IsNull(i) {
 		return false
@@ -141,7 +141,7 @@ type StrIn struct {
 }
 
 // Matches implements Predicate.
-func (p StrIn) Matches(t *Table, i int) bool {
+func (p StrIn) Matches(t Relation, i int) bool {
 	c := t.ColumnByName(p.Col)
 	if c == nil || c.IsNull(i) {
 		return false
@@ -171,7 +171,7 @@ type IsNull struct {
 }
 
 // Matches implements Predicate.
-func (p IsNull) Matches(t *Table, i int) bool {
+func (p IsNull) Matches(t Relation, i int) bool {
 	c := t.ColumnByName(p.Col)
 	if c == nil {
 		return false
@@ -194,7 +194,7 @@ func (p IsNull) String() string {
 type And []Predicate
 
 // Matches implements Predicate.
-func (ps And) Matches(t *Table, i int) bool {
+func (ps And) Matches(t Relation, i int) bool {
 	for _, p := range ps {
 		if !p.Matches(t, i) {
 			return false
@@ -225,7 +225,7 @@ func (ps And) String() string {
 type Or []Predicate
 
 // Matches implements Predicate.
-func (ps Or) Matches(t *Table, i int) bool {
+func (ps Or) Matches(t Relation, i int) bool {
 	for _, p := range ps {
 		if p.Matches(t, i) {
 			return true
@@ -250,7 +250,7 @@ func (ps Or) String() string {
 type Not struct{ P Predicate }
 
 // Matches implements Predicate.
-func (p Not) Matches(t *Table, i int) bool { return !p.P.Matches(t, i) }
+func (p Not) Matches(t Relation, i int) bool { return !p.P.Matches(t, i) }
 
 // String implements Predicate.
 func (p Not) String() string { return "NOT (" + p.P.String() + ")" }
@@ -267,7 +267,7 @@ type OrNull struct {
 }
 
 // Matches implements Predicate.
-func (p OrNull) Matches(t *Table, i int) bool {
+func (p OrNull) Matches(t Relation, i int) bool {
 	if c := t.ColumnByName(p.Col); c != nil && c.IsNull(i) {
 		return true
 	}
@@ -284,7 +284,7 @@ func (p OrNull) String() string {
 type True struct{}
 
 // Matches implements Predicate.
-func (True) Matches(*Table, int) bool { return true }
+func (True) Matches(Relation, int) bool { return true }
 
 // String implements Predicate.
 func (True) String() string { return "TRUE" }

@@ -1,0 +1,47 @@
+package store
+
+// Relation is a named, read-only collection of equal-length columns —
+// the seam between the in-memory *Table and the out-of-core
+// SegmentTable. Everything above the store (core.Explorer, the
+// dependency graph, sessions, the server) works in terms of Relation,
+// so a dataset can be backed by Go slices or by paged segments on disk
+// without the exploration pipeline noticing.
+//
+// Gather and Where materialize their result as an in-memory *Table:
+// Blaeu's pipeline always narrows to a sample or a region before doing
+// per-value work, so materialized results are small even when the
+// backing relation is not.
+type Relation interface {
+	// Name returns the relation name.
+	Name() string
+	// NumRows returns the number of rows.
+	NumRows() int
+	// NumCols returns the number of columns.
+	NumCols() int
+	// Column returns the i-th column.
+	Column(i int) Column
+	// ColumnByName returns the named column, or nil if absent.
+	ColumnByName(name string) Column
+	// ColumnIndex returns the position of the named column, or -1.
+	ColumnIndex(name string) int
+	// ColumnNames returns the column names in schema order.
+	ColumnNames() []string
+	// Schema returns the relation schema.
+	Schema() Schema
+	// Gather returns a new materialized table containing the given rows
+	// in order.
+	Gather(rows []int) *Table
+	// Filter returns the indices of rows matching the predicate, in
+	// ascending order.
+	Filter(p Predicate) []int
+	// Where returns a new materialized table of the rows matching the
+	// predicate.
+	Where(p Predicate) *Table
+	// Row renders row i as strings in schema order (nulls render "").
+	Row(i int) []string
+}
+
+var (
+	_ Relation = (*Table)(nil)
+	_ Relation = (*SegmentTable)(nil)
+)

@@ -1,0 +1,12 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd)
+
+package segment
+
+import "os"
+
+// mmapFile is unavailable on this platform; Open falls back to pread.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errMmapUnavailable
+}
+
+func munmap(b []byte) error { return nil }

@@ -1,0 +1,19 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd
+
+package segment
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the whole file read-only. Callers fall back to pread
+// on any error.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, errMmapUnavailable
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(b []byte) error { return syscall.Munmap(b) }

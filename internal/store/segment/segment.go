@@ -1,0 +1,359 @@
+// Package segment implements Blaeu's out-of-core columnar storage: a
+// binary segment file format of page-granular column runs behind a
+// byte-budgeted buffer pool. It is the disk substrate that lets the
+// store open datasets far larger than memory — the EMBANKS discipline
+// (all I/O page-granular, all pages served through a pool) applied to
+// the columnar layout the in-memory store already uses.
+//
+// # File format (version 1)
+//
+//	magic "BLSEG001"                                  (8 bytes)
+//	row groups: for each group of RowsPerPage rows,
+//	  one data page per column (+ one null-bitmap
+//	  page per column when the page has nulls)
+//	dictionary pages (string columns)
+//	footer: schema, page directory, per-page stats    (binary, see below)
+//	trailer: footerOff s64 | footerLen u32 |
+//	         footerCRC u32 | magic "BLSEG001"         (24 bytes)
+//
+// Page payloads by column kind: Float64 and Int64 pages are raw
+// little-endian 8-byte values (one per row; null rows hold NaN / 0);
+// String pages are little-endian int32 dictionary codes with one
+// dictionary page per column (reusing the store's StringColumn
+// first-appearance dict encoding); Bool pages and all null bitmaps are
+// little-endian uint64 words, bit i = row i of the page.
+//
+// The footer records per-page min/max over non-null values (dictionary
+// codes for strings), the per-page null count and the null-page
+// location, which is what lets scans skip pages without touching them.
+// All integers are little-endian; the trailer's CRC32 (IEEE) covers the
+// footer bytes, so a truncated or bit-rotted file fails loudly at Open.
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Magic brackets every segment file (first and last 8 bytes).
+const Magic = "BLSEG001"
+
+// DefaultRowsPerPage is the page granularity when the writer is not
+// told otherwise: 8192 rows = 64 KiB float pages.
+const DefaultRowsPerPage = 8192
+
+// maxFooterLen bounds how large a footer Open will read — an
+// over-allocation guard against corrupt trailers (a real footer for
+// thousands of columns stays far below this).
+const maxFooterLen = 1 << 26 // 64 MiB
+
+// trailerLen is the fixed byte length of the file trailer.
+const trailerLen = 8 + 4 + 4 + 8
+
+// Kind is the storage kind of a segment column.
+type Kind uint8
+
+// Column kinds.
+const (
+	// KindFloat64 pages hold raw little-endian float64 values.
+	KindFloat64 Kind = iota
+	// KindInt64 pages hold raw little-endian int64 values.
+	KindInt64
+	// KindString pages hold little-endian int32 dictionary codes; the
+	// column carries one dictionary page.
+	KindString
+	// KindBool pages hold a little-endian uint64 bitmap.
+	KindBool
+	numKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindFloat64:
+		return "float64"
+	case KindInt64:
+		return "int64"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// PageInfo locates one data page and carries its scan statistics.
+type PageInfo struct {
+	// Off and Len locate the page payload in the file.
+	Off, Len int64
+	// Rows is the number of rows the page covers.
+	Rows int
+	// NullCount is the number of null rows in the page.
+	NullCount int
+	// NullOff and NullLen locate the page's null bitmap (both zero when
+	// the page has no nulls).
+	NullOff, NullLen int64
+	// Min and Max bound the non-null values of the page (dictionary
+	// codes for string pages; NaN when the page is all null). Scans use
+	// them to skip pages wholesale.
+	Min, Max float64
+}
+
+// ColumnMeta describes one column of a segment.
+type ColumnMeta struct {
+	// Name is the column name.
+	Name string
+	// Kind is the storage kind.
+	Kind Kind
+	// DictOff and DictLen locate the dictionary page (string columns
+	// only; both zero otherwise).
+	DictOff, DictLen int64
+	// DictCard is the dictionary cardinality (string columns only).
+	DictCard int
+	// Pages is the ordered page run of the column.
+	Pages []PageInfo
+}
+
+// NullCount sums the per-page null counts.
+func (c *ColumnMeta) NullCount() int {
+	n := 0
+	for i := range c.Pages {
+		n += c.Pages[i].NullCount
+	}
+	return n
+}
+
+// Footer is the decoded segment directory.
+type Footer struct {
+	// Cols are the columns in schema order.
+	Cols []ColumnMeta
+	// NumRows is the total row count.
+	NumRows int64
+	// RowsPerPage is the page granularity shared by every column, so
+	// page p of every column covers the same row range.
+	RowsPerPage int
+}
+
+// encode renders the footer in its binary form.
+func (f *Footer) encode() []byte {
+	var b []byte
+	u32 := func(v uint32) { b = binary.LittleEndian.AppendUint32(b, v) }
+	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+
+	u32(uint32(len(f.Cols)))
+	for i := range f.Cols {
+		c := &f.Cols[i]
+		name := []byte(c.Name)
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(name)))
+		b = append(b, name...)
+		b = append(b, byte(c.Kind))
+		u64(uint64(c.DictOff))
+		u64(uint64(c.DictLen))
+		u32(uint32(c.DictCard))
+		u32(uint32(len(c.Pages)))
+		for j := range c.Pages {
+			p := &c.Pages[j]
+			u64(uint64(p.Off))
+			u64(uint64(p.Len))
+			u32(uint32(p.Rows))
+			u32(uint32(p.NullCount))
+			u64(uint64(p.NullOff))
+			u64(uint64(p.NullLen))
+			f64(p.Min)
+			f64(p.Max)
+		}
+	}
+	u64(uint64(f.NumRows))
+	u32(uint32(f.RowsPerPage))
+	return b
+}
+
+// pageEntrySize is the encoded size of one PageInfo entry; decode uses
+// it to validate claimed page counts before allocating.
+const pageEntrySize = 8 + 8 + 4 + 4 + 8 + 8 + 8 + 8
+
+// byteReader is a bounds-checked little-endian reader over the footer
+// bytes: every read is validated so corrupt footers error instead of
+// panicking or over-allocating.
+type byteReader struct {
+	b   []byte
+	off int
+}
+
+func (r *byteReader) remain() int { return len(r.b) - r.off }
+
+func (r *byteReader) take(n int) ([]byte, error) {
+	if n < 0 || r.remain() < n {
+		return nil, fmt.Errorf("segment: footer truncated (want %d bytes, have %d)", n, r.remain())
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out, nil
+}
+
+func (r *byteReader) u16() (uint16, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (r *byteReader) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *byteReader) u64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (r *byteReader) i64() (int64, error) {
+	v, err := r.u64()
+	return int64(v), err
+}
+
+func (r *byteReader) f64() (float64, error) {
+	v, err := r.u64()
+	return math.Float64frombits(v), err
+}
+
+// decodeFooter parses the binary footer. It never allocates more than
+// the byte length of b admits: claimed counts are checked against the
+// remaining bytes before any make().
+func decodeFooter(b []byte) (*Footer, error) {
+	r := &byteReader{b: b}
+	ncols, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	// Each column needs at least nameLen(2)+kind(1)+dict(20)+npages(4).
+	if int64(ncols)*27 > int64(r.remain()) {
+		return nil, fmt.Errorf("segment: footer claims %d columns in %d bytes", ncols, r.remain())
+	}
+	f := &Footer{Cols: make([]ColumnMeta, ncols)}
+	for i := range f.Cols {
+		c := &f.Cols[i]
+		nameLen, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		name, err := r.take(int(nameLen))
+		if err != nil {
+			return nil, err
+		}
+		c.Name = string(name)
+		kind, err := r.take(1)
+		if err != nil {
+			return nil, err
+		}
+		if Kind(kind[0]) >= numKinds {
+			return nil, fmt.Errorf("segment: column %q has unknown kind %d", c.Name, kind[0])
+		}
+		c.Kind = Kind(kind[0])
+		if c.DictOff, err = r.i64(); err != nil {
+			return nil, err
+		}
+		if c.DictLen, err = r.i64(); err != nil {
+			return nil, err
+		}
+		card, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		c.DictCard = int(card)
+		npages, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if int64(npages)*pageEntrySize > int64(r.remain()) {
+			return nil, fmt.Errorf("segment: column %q claims %d pages in %d bytes", c.Name, npages, r.remain())
+		}
+		c.Pages = make([]PageInfo, npages)
+		for j := range c.Pages {
+			p := &c.Pages[j]
+			if p.Off, err = r.i64(); err != nil {
+				return nil, err
+			}
+			if p.Len, err = r.i64(); err != nil {
+				return nil, err
+			}
+			rows, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			p.Rows = int(rows)
+			nulls, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			p.NullCount = int(nulls)
+			if p.NullOff, err = r.i64(); err != nil {
+				return nil, err
+			}
+			if p.NullLen, err = r.i64(); err != nil {
+				return nil, err
+			}
+			if p.Min, err = r.f64(); err != nil {
+				return nil, err
+			}
+			if p.Max, err = r.f64(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if f.NumRows, err = r.i64(); err != nil {
+		return nil, err
+	}
+	rpp, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	f.RowsPerPage = int(rpp)
+	if r.remain() != 0 {
+		return nil, fmt.Errorf("segment: %d trailing bytes after footer", r.remain())
+	}
+	return f, nil
+}
+
+// footerCRC is the checksum the trailer records over the footer bytes.
+func footerCRC(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+// --- page payload accessors ---
+//
+// Pages are raw bytes; these helpers decode single values in place so
+// scans never materialize a typed copy of the page.
+
+// Float64At decodes value i of a float page.
+func Float64At(b []byte, i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+}
+
+// Int64At decodes value i of an int page.
+func Int64At(b []byte, i int) int64 {
+	return int64(binary.LittleEndian.Uint64(b[i*8:]))
+}
+
+// Int32At decodes code i of a string-code page.
+func Int32At(b []byte, i int) int32 {
+	return int32(binary.LittleEndian.Uint32(b[i*4:]))
+}
+
+// BitAt reads bit i of a bitmap page (null bitmaps and bool values).
+func BitAt(b []byte, i int) bool {
+	w := binary.LittleEndian.Uint64(b[(i>>6)*8:])
+	return w&(1<<uint(i&63)) != 0
+}
+
+// bitmapLen is the byte length of a bitmap page covering rows rows.
+func bitmapLen(rows int) int64 { return int64((rows + 63) / 64 * 8) }

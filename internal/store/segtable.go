@@ -1,0 +1,794 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/store/segment"
+)
+
+// SegmentTable is a Relation backed by an on-disk paged columnar
+// segment (see internal/store/segment) instead of in-memory slices.
+// Pages are fetched through the segment's buffer pool on demand, so a
+// dataset far larger than memory opens in O(footer) space and the
+// resident set is bounded by the pool's byte budget.
+//
+// SegmentTables are read-only and safe for concurrent readers. Scans
+// (Filter, Gather of sorted rows) touch pages sequentially; point
+// accesses via the Column interface work but pay a pool round trip
+// per page crossing, so hot paths should go through Filter /
+// FilterRows / Gather, which keep a page cursor.
+type SegmentTable struct {
+	seg     *segment.Segment
+	name    string
+	cols    []Column
+	colIdx  map[string]int
+	numRows int
+}
+
+// OpenSegmentTable opens a segment file with a private buffer pool of
+// pageBudget bytes.
+func OpenSegmentTable(path string, pageBudget int64) (*SegmentTable, error) {
+	return OpenSegmentTableWith(path, segment.NewPool(pageBudget))
+}
+
+// OpenSegmentTableWith opens a segment file against a shared pool, so
+// several datasets can split one byte budget.
+func OpenSegmentTableWith(path string, pool *segment.Pool) (*SegmentTable, error) {
+	seg, err := segment.Open(path, pool)
+	if err != nil {
+		return nil, err
+	}
+	t, err := newSegmentTable(seg, path)
+	if err != nil {
+		seg.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+func newSegmentTable(seg *segment.Segment, path string) (*SegmentTable, error) {
+	f := seg.Footer()
+	if int64(int(f.NumRows)) != f.NumRows {
+		return nil, fmt.Errorf("store: segment %s: %d rows exceed the addressable range", path, f.NumRows)
+	}
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	name = strings.TrimSuffix(name, ".seg")
+	t := &SegmentTable{
+		seg:     seg,
+		name:    name,
+		colIdx:  make(map[string]int, len(f.Cols)),
+		numRows: int(f.NumRows),
+	}
+	for ci := range f.Cols {
+		meta := &f.Cols[ci]
+		base := segColBase{
+			seg:  seg,
+			ci:   ci,
+			meta: meta,
+			rpp:  f.RowsPerPage,
+			n:    t.numRows,
+		}
+		var col Column
+		switch meta.Kind {
+		case segment.KindFloat64:
+			col = &segFloatCol{base}
+		case segment.KindInt64:
+			col = &segIntCol{base}
+		case segment.KindBool:
+			col = &segBoolCol{base}
+		case segment.KindString:
+			dict, err := seg.Dict(ci)
+			if err != nil {
+				return nil, err
+			}
+			index := make(map[string]int32, len(dict))
+			for code, v := range dict {
+				if _, dup := index[v]; !dup {
+					index[v] = int32(code)
+				}
+			}
+			col = &segStrCol{base: base, dict: dict, index: index}
+		default:
+			return nil, fmt.Errorf("store: segment %s: column %q has unsupported kind", path, meta.Name)
+		}
+		t.colIdx[meta.Name] = ci
+		t.cols = append(t.cols, col)
+	}
+	return t, nil
+}
+
+// Close releases the segment file and its pooled pages.
+func (t *SegmentTable) Close() error { return t.seg.Close() }
+
+// Segment exposes the underlying segment (pool stats, page layout).
+func (t *SegmentTable) Segment() *segment.Segment { return t.seg }
+
+// Name implements Relation.
+func (t *SegmentTable) Name() string { return t.name }
+
+// SetName renames the relation.
+func (t *SegmentTable) SetName(name string) { t.name = name }
+
+// NumRows implements Relation.
+func (t *SegmentTable) NumRows() int { return t.numRows }
+
+// NumCols implements Relation.
+func (t *SegmentTable) NumCols() int { return len(t.cols) }
+
+// Column implements Relation.
+func (t *SegmentTable) Column(i int) Column { return t.cols[i] }
+
+// ColumnByName implements Relation.
+func (t *SegmentTable) ColumnByName(name string) Column {
+	i, ok := t.colIdx[name]
+	if !ok {
+		return nil
+	}
+	return t.cols[i]
+}
+
+// ColumnIndex implements Relation.
+func (t *SegmentTable) ColumnIndex(name string) int {
+	i, ok := t.colIdx[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// ColumnNames implements Relation.
+func (t *SegmentTable) ColumnNames() []string {
+	out := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		out[i] = c.Name()
+	}
+	return out
+}
+
+// Schema implements Relation.
+func (t *SegmentTable) Schema() Schema {
+	s := make(Schema, len(t.cols))
+	for i, c := range t.cols {
+		s[i] = Field{Name: c.Name(), Type: c.Type()}
+	}
+	return s
+}
+
+// Gather implements Relation: the result is a materialized in-memory
+// table. Sorted row sets (samples, filter results) read each page
+// once, sequentially.
+func (t *SegmentTable) Gather(rows []int) *Table {
+	out := NewTable(t.name)
+	for _, c := range t.cols {
+		out.MustAddColumn(c.Gather(rows))
+	}
+	if len(t.cols) == 0 {
+		out.numRows = len(rows)
+	}
+	return out
+}
+
+// Head returns the first n rows (or fewer), materialized.
+func (t *SegmentTable) Head(n int) *Table {
+	if n > t.numRows {
+		n = t.numRows
+	}
+	if n < 0 {
+		n = 0
+	}
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return t.Gather(rows)
+}
+
+// Filter implements Relation with a vectorized page-level scan: the
+// predicate is compiled once (columns resolved, constants mapped to
+// dictionary codes), and per-page min/max, null-count stats skip pages
+// that cannot contain matches without reading them.
+func (t *SegmentTable) Filter(p Predicate) []int {
+	if len(t.cols) == 0 {
+		// No pages to scan; evaluate the predicate per row directly.
+		var out []int
+		for i := 0; i < t.numRows; i++ {
+			if p.Matches(t, i) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	skips := t.pageSkips(p)
+	m := CompileMatcher(t, p)
+	rpp := t.seg.RowsPerPage()
+	np := t.seg.NumPages()
+	var out []int
+page:
+	for pi := 0; pi < np; pi++ {
+		for _, skip := range skips {
+			if skip(pi) {
+				continue page
+			}
+		}
+		lo := pi * rpp
+		hi := lo + rpp
+		if hi > t.numRows {
+			hi = t.numRows
+		}
+		for i := lo; i < hi; i++ {
+			if m(i) {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// Where implements Relation.
+func (t *SegmentTable) Where(p Predicate) *Table {
+	return t.Gather(t.Filter(p))
+}
+
+// Sample returns up to n row indices drawn uniformly without
+// replacement, sorted ascending — sorted order keeps the subsequent
+// gather sequential over pages, which is what makes cold sampling
+// cheap on a segment.
+func (t *SegmentTable) Sample(n int, rng *rand.Rand) []int {
+	return SampleIndices(t.numRows, n, rng)
+}
+
+// SampleTable returns a materialized uniform sample of up to n rows.
+func (t *SegmentTable) SampleTable(n int, rng *rand.Rand) *Table {
+	return t.Gather(t.Sample(n, rng))
+}
+
+// Row implements Relation.
+func (t *SegmentTable) Row(i int) []string {
+	out := make([]string, len(t.cols))
+	for j, c := range t.cols {
+		out[j] = c.StringAt(i)
+	}
+	return out
+}
+
+// pageSkips collects page-exclusion tests from the top-level
+// conjuncts of p: a page skips when the conjunct provably matches no
+// row of it. Non-conjunctive shapes contribute no skip (they still
+// evaluate row-wise).
+func (t *SegmentTable) pageSkips(p Predicate) []func(pi int) bool {
+	var out []func(int) bool
+	switch p := p.(type) {
+	case And:
+		for _, q := range p {
+			out = append(out, t.pageSkips(q)...)
+		}
+	case NumCmp:
+		if skip := t.numCmpSkip(p); skip != nil {
+			out = append(out, skip)
+		}
+	case StrEq:
+		if skip := t.strEqSkip(p); skip != nil {
+			out = append(out, skip)
+		}
+	case IsNull:
+		if c, ok := t.ColumnByName(p.Col).(segColumn); ok {
+			pages := c.pages()
+			if p.Not {
+				out = append(out, func(pi int) bool { return pages[pi].NullCount == pages[pi].Rows })
+			} else {
+				out = append(out, func(pi int) bool { return pages[pi].NullCount == 0 })
+			}
+		}
+	}
+	return out
+}
+
+// numCmpSkip builds the zone-map test for a numeric comparison: page
+// stats bound the non-null values, and comparisons never match nulls.
+func (t *SegmentTable) numCmpSkip(p NumCmp) func(pi int) bool {
+	c, ok := t.ColumnByName(p.Col).(segColumn)
+	if !ok || c.Type() == String {
+		// String page stats are dictionary codes, unrelated to the
+		// numeric parse NumCmp applies; no skip.
+		return nil
+	}
+	return numSkipFunc(c.pages(), p.Op, p.Val)
+}
+
+func numSkipFunc(pages []segment.PageInfo, op CmpOp, val float64) func(pi int) bool {
+	return func(pi int) bool {
+		pg := &pages[pi]
+		if pg.NullCount == pg.Rows {
+			return true // all null: a comparison matches nothing
+		}
+		switch op {
+		case Lt:
+			return pg.Min >= val
+		case Le:
+			return pg.Min > val
+		case Gt:
+			return pg.Max <= val
+		case Ge:
+			return pg.Max < val
+		case Eq:
+			return val < pg.Min || val > pg.Max
+		case Ne:
+			return pg.Min == val && pg.Max == val
+		}
+		return false
+	}
+}
+
+// strEqSkip builds the zone-map test for string equality: the constant
+// resolves to a dictionary code once, and page stats bound the codes.
+func (t *SegmentTable) strEqSkip(p StrEq) func(pi int) bool {
+	c, ok := t.ColumnByName(p.Col).(*segStrCol)
+	if !ok {
+		return nil
+	}
+	pages := c.pages()
+	code, present := c.index[p.Val]
+	if !present {
+		if p.Neq {
+			// Matches every non-null row: only all-null pages skip.
+			return func(pi int) bool { return pages[pi].NullCount == pages[pi].Rows }
+		}
+		return func(int) bool { return true }
+	}
+	want := float64(code)
+	if p.Neq {
+		return numSkipFunc(pages, Ne, want)
+	}
+	return numSkipFunc(pages, Eq, want)
+}
+
+// ---------------------------------------------------------------------------
+// Segment-backed columns
+
+// segColumn is the store-side view of a segment-backed column: the
+// compiled-matcher layer uses it to build page-cursor matchers, and
+// the scan planner reads its page directory.
+type segColumn interface {
+	Column
+	pages() []segment.PageInfo
+	nullMatcher() func(i int) bool
+	numMatcher(cmp func(float64) bool) func(i int) bool
+	strMatcher(vals []string, neq bool) func(i int) bool
+}
+
+// segColBase is the shared state of segment-backed columns.
+type segColBase struct {
+	seg  *segment.Segment
+	ci   int
+	meta *segment.ColumnMeta
+	rpp  int
+	n    int
+}
+
+func (b *segColBase) Name() string              { return b.meta.Name }
+func (b *segColBase) Len() int                  { return b.n }
+func (b *segColBase) NullCount() int            { return b.meta.NullCount() }
+func (b *segColBase) pages() []segment.PageInfo { return b.meta.Pages }
+
+// AppendNull implements Column; segment columns are immutable.
+func (b *segColBase) AppendNull() {
+	panic(fmt.Sprintf("store: segment column %q is immutable", b.meta.Name))
+}
+
+// fetch returns the data and null payloads of page pi (nulls is nil
+// when the page has none). The pool handles are released before
+// returning: the byte slices stay valid (see segment.Handle.Bytes) and
+// the pages simply become evictable again, so cursors can hold the
+// bytes without pinning pool budget.
+func (b *segColBase) fetch(pi int) (data, nulls []byte) {
+	h, err := b.seg.DataPage(b.ci, pi)
+	if err != nil {
+		panic(fmt.Sprintf("store: segment column %q page %d: %v", b.meta.Name, pi, err))
+	}
+	data = h.Bytes()
+	h.Release()
+	nh, err := b.seg.NullPage(b.ci, pi)
+	if err != nil {
+		panic(fmt.Sprintf("store: segment column %q null page %d: %v", b.meta.Name, pi, err))
+	}
+	if nh != nil {
+		nulls = nh.Bytes()
+		nh.Release()
+	}
+	return data, nulls
+}
+
+// segCursor walks a column page by page; sequential access fetches
+// each page once.
+type segCursor struct {
+	b           *segColBase
+	pi          int
+	data, nulls []byte
+}
+
+func (b *segColBase) cursor() segCursor { return segCursor{b: b, pi: -1} }
+
+// seek positions the cursor on row i's page and returns the in-page
+// offset.
+func (c *segCursor) seek(i int) int {
+	pi := i / c.b.rpp
+	if pi != c.pi {
+		c.data, c.nulls = c.b.fetch(pi)
+		c.pi = pi
+	}
+	return i - pi*c.b.rpp
+}
+
+func (c *segCursor) isNull(j int) bool {
+	return c.nulls != nil && segment.BitAt(c.nulls, j)
+}
+
+// nullMatcher returns a cursor-backed null test.
+func (b *segColBase) nullMatcher() func(i int) bool {
+	if b.meta.NullCount() == 0 {
+		return matchNone
+	}
+	cur := b.cursor()
+	return func(i int) bool { return cur.isNull(cur.seek(i)) }
+}
+
+// isNullAt is the point-access null test (page fetch per call).
+func (b *segColBase) isNullAt(i int) bool {
+	pi := i / b.rpp
+	if b.meta.Pages[pi].NullCount == 0 {
+		return false
+	}
+	h, err := b.seg.NullPage(b.ci, pi)
+	if err != nil {
+		panic(fmt.Sprintf("store: segment column %q null page %d: %v", b.meta.Name, pi, err))
+	}
+	v := segment.BitAt(h.Bytes(), i-pi*b.rpp)
+	h.Release()
+	return v
+}
+
+// --- float64 ---
+
+type segFloatCol struct{ segColBase }
+
+func (c *segFloatCol) Type() Type        { return Float64 }
+func (c *segFloatCol) IsNull(i int) bool { return c.isNullAt(i) }
+
+func (c *segFloatCol) Float(i int) float64 {
+	cur := c.cursor()
+	j := cur.seek(i)
+	if cur.isNull(j) {
+		return math.NaN()
+	}
+	return segment.Float64At(cur.data, j)
+}
+
+func (c *segFloatCol) StringAt(i int) string {
+	cur := c.cursor()
+	j := cur.seek(i)
+	if cur.isNull(j) {
+		return ""
+	}
+	return strconv.FormatFloat(segment.Float64At(cur.data, j), 'g', -1, 64)
+}
+
+func (c *segFloatCol) Gather(rows []int) Column {
+	out := NewFloatColumn(c.meta.Name)
+	cur := c.cursor()
+	for _, r := range rows {
+		j := cur.seek(r)
+		if cur.isNull(j) {
+			out.AppendNull()
+		} else {
+			out.Append(segment.Float64At(cur.data, j))
+		}
+	}
+	return out
+}
+
+func (c *segFloatCol) Slice(lo, hi int) Column {
+	return c.Gather(rangeRows(lo, hi))
+}
+
+func (c *segFloatCol) numMatcher(cmp func(float64) bool) func(i int) bool {
+	cur := c.cursor()
+	return func(i int) bool {
+		j := cur.seek(i)
+		return !cur.isNull(j) && cmp(segment.Float64At(cur.data, j))
+	}
+}
+
+func (c *segFloatCol) strMatcher(vals []string, neq bool) func(i int) bool {
+	return genericStrMatcher(c, vals, neq)
+}
+
+// --- int64 ---
+
+type segIntCol struct{ segColBase }
+
+func (c *segIntCol) Type() Type        { return Int64 }
+func (c *segIntCol) IsNull(i int) bool { return c.isNullAt(i) }
+
+func (c *segIntCol) Float(i int) float64 {
+	cur := c.cursor()
+	j := cur.seek(i)
+	if cur.isNull(j) {
+		return math.NaN()
+	}
+	return float64(segment.Int64At(cur.data, j))
+}
+
+func (c *segIntCol) StringAt(i int) string {
+	cur := c.cursor()
+	j := cur.seek(i)
+	if cur.isNull(j) {
+		return ""
+	}
+	return strconv.FormatInt(segment.Int64At(cur.data, j), 10)
+}
+
+func (c *segIntCol) Gather(rows []int) Column {
+	out := NewIntColumn(c.meta.Name)
+	cur := c.cursor()
+	for _, r := range rows {
+		j := cur.seek(r)
+		if cur.isNull(j) {
+			out.AppendNull()
+		} else {
+			out.Append(segment.Int64At(cur.data, j))
+		}
+	}
+	return out
+}
+
+func (c *segIntCol) Slice(lo, hi int) Column {
+	return c.Gather(rangeRows(lo, hi))
+}
+
+func (c *segIntCol) numMatcher(cmp func(float64) bool) func(i int) bool {
+	cur := c.cursor()
+	return func(i int) bool {
+		j := cur.seek(i)
+		return !cur.isNull(j) && cmp(float64(segment.Int64At(cur.data, j)))
+	}
+}
+
+func (c *segIntCol) strMatcher(vals []string, neq bool) func(i int) bool {
+	return genericStrMatcher(c, vals, neq)
+}
+
+// --- string (dictionary) ---
+
+type segStrCol struct {
+	base  segColBase
+	dict  []string
+	index map[string]int32
+}
+
+func (c *segStrCol) Name() string              { return c.base.Name() }
+func (c *segStrCol) Type() Type                { return String }
+func (c *segStrCol) Len() int                  { return c.base.Len() }
+func (c *segStrCol) NullCount() int            { return c.base.NullCount() }
+func (c *segStrCol) AppendNull()               { c.base.AppendNull() }
+func (c *segStrCol) pages() []segment.PageInfo { return c.base.pages() }
+func (c *segStrCol) IsNull(i int) bool         { return c.base.isNullAt(i) }
+func (c *segStrCol) nullMatcher() func(i int) bool {
+	return c.base.nullMatcher()
+}
+
+// Dict returns the dictionary of distinct values (callers must not
+// mutate).
+func (c *segStrCol) Dict() []string { return c.dict }
+
+// Cardinality returns the number of distinct non-null values.
+func (c *segStrCol) Cardinality() int { return len(c.dict) }
+
+// Value returns the string at row i ("" when null).
+func (c *segStrCol) Value(i int) string { return c.StringAt(i) }
+
+// Code returns the dictionary code at row i (-1 when null), mirroring
+// StringColumn.Code. Both backings assign codes in first-appearance
+// order over the same row sequence, so codes agree across them — the
+// discretization layer relies on that for backing-independent NMI.
+func (c *segStrCol) Code(i int) int32 {
+	cur := c.base.cursor()
+	j := cur.seek(i)
+	if cur.isNull(j) {
+		return -1
+	}
+	return segment.Int32At(cur.data, j)
+}
+
+func (c *segStrCol) StringAt(i int) string {
+	cur := c.base.cursor()
+	j := cur.seek(i)
+	if cur.isNull(j) {
+		return ""
+	}
+	return c.dict[segment.Int32At(cur.data, j)]
+}
+
+// Float implements Column: strings parse as numbers when possible.
+func (c *segStrCol) Float(i int) float64 {
+	cur := c.base.cursor()
+	j := cur.seek(i)
+	if cur.isNull(j) {
+		return math.NaN()
+	}
+	v, err := strconv.ParseFloat(c.dict[segment.Int32At(cur.data, j)], 64)
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
+
+func (c *segStrCol) Gather(rows []int) Column {
+	out := NewStringColumn(c.base.meta.Name)
+	cur := c.base.cursor()
+	for _, r := range rows {
+		j := cur.seek(r)
+		if cur.isNull(j) {
+			out.AppendNull()
+		} else {
+			out.Append(c.dict[segment.Int32At(cur.data, j)])
+		}
+	}
+	return out
+}
+
+func (c *segStrCol) Slice(lo, hi int) Column {
+	return c.Gather(rangeRows(lo, hi))
+}
+
+// numMatcher parses each dictionary entry once; the per-row test is a
+// code lookup into the parsed table.
+func (c *segStrCol) numMatcher(cmp func(float64) bool) func(i int) bool {
+	match := make([]bool, len(c.dict))
+	for code, v := range c.dict {
+		f, err := strconv.ParseFloat(v, 64)
+		// Unparseable strings are NaN under Column.Float: no comparison
+		// matches them.
+		match[code] = err == nil && cmp(f)
+	}
+	cur := c.base.cursor()
+	return func(i int) bool {
+		j := cur.seek(i)
+		return !cur.isNull(j) && match[segment.Int32At(cur.data, j)]
+	}
+}
+
+// strMatcher compares dictionary codes against the constants, never
+// materializing row strings.
+func (c *segStrCol) strMatcher(vals []string, neq bool) func(i int) bool {
+	want := make(map[int32]bool, len(vals))
+	any := false
+	for _, v := range vals {
+		if code, ok := c.index[v]; ok {
+			want[code] = true
+			any = true
+		}
+	}
+	cur := c.base.cursor()
+	if neq {
+		return func(i int) bool {
+			j := cur.seek(i)
+			return !cur.isNull(j) && !want[segment.Int32At(cur.data, j)]
+		}
+	}
+	if !any {
+		return matchNone
+	}
+	return func(i int) bool {
+		j := cur.seek(i)
+		return !cur.isNull(j) && want[segment.Int32At(cur.data, j)]
+	}
+}
+
+// --- bool ---
+
+type segBoolCol struct{ segColBase }
+
+func (c *segBoolCol) Type() Type        { return Bool }
+func (c *segBoolCol) IsNull(i int) bool { return c.isNullAt(i) }
+
+// Value returns the bool at row i (false when null), mirroring
+// BoolColumn.Value.
+func (c *segBoolCol) Value(i int) bool {
+	cur := c.cursor()
+	j := cur.seek(i)
+	return !cur.isNull(j) && segment.BitAt(cur.data, j)
+}
+
+func (c *segBoolCol) Float(i int) float64 {
+	cur := c.cursor()
+	j := cur.seek(i)
+	if cur.isNull(j) {
+		return math.NaN()
+	}
+	if segment.BitAt(cur.data, j) {
+		return 1
+	}
+	return 0
+}
+
+func (c *segBoolCol) StringAt(i int) string {
+	cur := c.cursor()
+	j := cur.seek(i)
+	if cur.isNull(j) {
+		return ""
+	}
+	return strconv.FormatBool(segment.BitAt(cur.data, j))
+}
+
+func (c *segBoolCol) Gather(rows []int) Column {
+	out := NewBoolColumn(c.meta.Name)
+	cur := c.cursor()
+	for _, r := range rows {
+		j := cur.seek(r)
+		if cur.isNull(j) {
+			out.AppendNull()
+		} else {
+			out.Append(segment.BitAt(cur.data, j))
+		}
+	}
+	return out
+}
+
+func (c *segBoolCol) Slice(lo, hi int) Column {
+	return c.Gather(rangeRows(lo, hi))
+}
+
+func (c *segBoolCol) numMatcher(cmp func(float64) bool) func(i int) bool {
+	cur := c.cursor()
+	m0, m1 := cmp(0), cmp(1)
+	return func(i int) bool {
+		j := cur.seek(i)
+		if cur.isNull(j) {
+			return false
+		}
+		if segment.BitAt(cur.data, j) {
+			return m1
+		}
+		return m0
+	}
+}
+
+func (c *segBoolCol) strMatcher(vals []string, neq bool) func(i int) bool {
+	return genericStrMatcher(c, vals, neq)
+}
+
+// genericStrMatcher is the string comparison for non-string columns:
+// rendered values against the constants (rare — region predicates only
+// use string equality on string columns).
+func genericStrMatcher(c Column, vals []string, neq bool) func(i int) bool {
+	return func(i int) bool {
+		if c.IsNull(i) {
+			return false
+		}
+		s := c.StringAt(i)
+		for _, v := range vals {
+			if s == v {
+				return !neq
+			}
+		}
+		return neq
+	}
+}
+
+func rangeRows(lo, hi int) []int {
+	if hi < lo {
+		hi = lo
+	}
+	rows := make([]int, hi-lo)
+	for i := range rows {
+		rows[i] = lo + i
+	}
+	return rows
+}

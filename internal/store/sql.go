@@ -135,15 +135,22 @@ func ParseQuery(input string) (*Query, error) {
 
 // Catalog resolves table names for query execution.
 type Catalog interface {
-	// Lookup returns the named table, or nil.
-	Lookup(name string) *Table
+	// Lookup returns the named relation, or nil.
+	Lookup(name string) Relation
 }
 
-// MapCatalog is a Catalog over a map.
-type MapCatalog map[string]*Table
+// MapCatalog is a Catalog over a map. Values may be in-memory tables
+// or segment-backed relations.
+type MapCatalog map[string]Relation
 
 // Lookup implements Catalog.
-func (m MapCatalog) Lookup(name string) *Table { return m[name] }
+func (m MapCatalog) Lookup(name string) Relation {
+	r, ok := m[name]
+	if !ok {
+		return nil
+	}
+	return r
+}
 
 // Execute runs a parsed query against a catalog, returning a new
 // materialized table.

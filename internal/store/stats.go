@@ -28,7 +28,7 @@ type ValueCount struct {
 
 // Stats computes summary statistics for the named column.
 // It returns a zero-valued struct when the column does not exist.
-func Stats(t *Table, col string) ColumnStats {
+func Stats(t Relation, col string) ColumnStats {
 	c := t.ColumnByName(col)
 	if c == nil {
 		return ColumnStats{Name: col}
@@ -107,6 +107,9 @@ func topK(counts map[string]int, k int) []ValueCount {
 	return out
 }
 
+// maxKeyScanRows bounds how many rows IsLikelyKey examines.
+const maxKeyScanRows = 100000
+
 // IsLikelyKey reports whether a column looks like a primary key or row
 // identifier: (almost) all values distinct and non-null. Blaeu's
 // preprocessing drops such columns before clustering (paper §3) because a
@@ -115,6 +118,12 @@ func IsLikelyKey(c Column) bool {
 	n := c.Len()
 	if n == 0 {
 		return false
+	}
+	// Bound the scan: a prefix this long decides keyness with the same
+	// rule on both in-memory and segment-backed columns, so key
+	// detection does not force a full pass over an out-of-core column.
+	if n > maxKeyScanRows {
+		c = c.Slice(0, maxKeyScanRows)
 	}
 	s := ComputeStats(c)
 	if s.Nulls > 0 || s.Count == 0 {
@@ -163,7 +172,7 @@ func Quantile(c Column, q float64) float64 {
 // Describe summarizes every column of t as a new table (one row per
 // column: type, counts, range, moments, distinct values) — the overview
 // panel an explorer reads before picking a theme.
-func Describe(t *Table) *Table {
+func Describe(t Relation) *Table {
 	out := NewTable(t.Name() + "_describe")
 	name := NewStringColumn("column")
 	typ := NewStringColumn("type")

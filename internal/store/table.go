@@ -165,18 +165,28 @@ func (t *Table) Head(n int) *Table {
 	if n > t.numRows {
 		n = t.numRows
 	}
+	if n < 0 {
+		n = 0
+	}
 	out := NewTable(t.name)
 	for _, c := range t.cols {
 		out.MustAddColumn(c.Slice(0, n))
+	}
+	if len(t.cols) == 0 {
+		out.numRows = n
 	}
 	return out
 }
 
 // Filter returns the indices of rows matching the predicate, in order.
+// The predicate is compiled once (columns resolved out of the row
+// loop, string constants mapped to dictionary codes) rather than
+// re-evaluated through Predicate.Matches per row.
 func (t *Table) Filter(p Predicate) []int {
+	m := CompileMatcher(t, p)
 	var out []int
 	for i := 0; i < t.numRows; i++ {
-		if p.Matches(t, i) {
+		if m(i) {
 			out = append(out, i)
 		}
 	}
