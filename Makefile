@@ -1,7 +1,7 @@
 # Developer entry points; CI runs the same commands (see
 # .github/workflows/ci.yml).
 
-.PHONY: build test race bench bench-smoke bench-pam bench-store benchstat vet race-jobs race-derived race-store lint fmt-check fuzz-smoke vuln
+.PHONY: build test race bench bench-smoke bench-pam bench-store bench-obs benchstat vet race-jobs race-derived race-store lint fmt-check fuzz-smoke metrics-smoke vuln
 
 # The scheduler subsystem under the race detector (also a CI step),
 # plus extra iterations of the backpressure overload stress.
@@ -18,9 +18,12 @@ race-derived:
 
 # The storage engine's buffer pool and segment scans under the race
 # detector (also a CI step): concurrent readers through one pool,
-# eviction under pinning, single-flight load dedup.
+# eviction under pinning, single-flight load dedup — plus the counter
+# conservation laws (hits+misses == lookups, evictions <= inserts) on
+# the buffer pool's registry mirrors and the core cache tiers.
 race-store:
 	go test -race -count=3 -run 'Pool|Concurrent' ./internal/store/...
+	go test -race -count=2 -run 'Conservation' ./internal/core/...
 
 build:
 	go build ./...
@@ -93,6 +96,21 @@ bench-store:
 	go run ./cmd/blaeu-bench -store-json BENCH_pam.json
 	mkdir -p bench_history
 	cp BENCH_pam.json bench_history/$$(git rev-parse --short HEAD).json
+
+# Record the telemetry-plane overhead section of BENCH_pam.json: the
+# same cold build timed with the per-build trace and metric recording
+# on and off (interleaved, medians). The acceptance bar for the
+# telemetry plane is <= 2% overhead. Other sections are preserved.
+bench-obs:
+	go run ./cmd/blaeu-bench -obs-json BENCH_pam.json
+	mkdir -p bench_history
+	cp BENCH_pam.json bench_history/$$(git rev-parse --short HEAD).json
+
+# Scrape-validity gate (also a CI step): starts an in-process server,
+# runs a build, fetches /metrics and fails on unparseable lines,
+# samples without a # TYPE, or duplicate series.
+metrics-smoke:
+	go test -count=1 -run 'MetricsScrape|MetricsJSONSnapshot|ByteStable' ./internal/server/
 
 # Compare the two most recent bench_history/ snapshots (by mtime):
 # per-cell PAM timings, scheduler p50s and derived-oracle speedups with

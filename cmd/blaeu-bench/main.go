@@ -30,6 +30,8 @@ func main() {
 	pamJSON := flag.String("pam-json", "", "write the PAM perf matrix (oracles × seedings) to this JSON file and exit")
 	storeJSON := flag.String("store-json", "", "record the out-of-core storage bench into this JSON file and exit")
 	storeRows := flag.Int("store-rows", 10_000_000, "row count for the storage bench")
+	obsJSON := flag.String("obs-json", "", "record the telemetry overhead bench (trace on vs off) into this JSON file and exit")
+	obsBuilds := flag.Int("obs-builds", 21, "measured builds per mode for the telemetry overhead bench")
 	diff := flag.Bool("diff", false, "compare two recorded snapshots (args: old.json new.json) and exit")
 	flag.Parse()
 
@@ -56,6 +58,14 @@ func main() {
 	if *storeJSON != "" {
 		if err := writeStoreBench(*storeJSON, *storeRows, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "store-json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *obsJSON != "" {
+		if err := writeObsBench(*obsJSON, 2000, *obsBuilds, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "obs-json: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/obs"
+)
+
+// obsBenchEntry is one instrumentation-overhead measurement: the same
+// cold build (caches disabled so nothing is reused) timed with the
+// telemetry plane off (plain context, no registry) and on (trace in the
+// context — stage spans, the counting oracle — plus the histogram
+// recording the session layer does per build). Medians over interleaved
+// runs, so drift hits both modes equally. The acceptance bar for the
+// telemetry PR is OverheadPct <= 2.
+type obsBenchEntry struct {
+	Rows        int     `json:"rows"`
+	SampleSize  int     `json:"sampleSize"`
+	Builds      int     `json:"builds"` // measured builds per mode
+	OffNs       float64 `json:"offNs"`  // median cold-build wall time, telemetry off
+	OnNs        float64 `json:"onNs"`   // median with trace context + metric recording
+	OverheadPct float64 `json:"overheadPct"`
+}
+
+// obsBenchExplorer builds a fresh explorer over the planted-blobs bench
+// dataset with both reuse tiers disabled, so every select is a full
+// cold build.
+func obsBenchExplorer(rows int, seed int64) (*core.Explorer, error) {
+	rng := rand.New(rand.NewSource(seed))
+	ds := datagen.PlantedBlobs(datagen.BlobSpec{N: rows, K: 4, Dims: 6, Sep: 8}, rng)
+	return core.NewExplorer(ds.Table, core.Options{
+		Seed: seed, SampleSize: 1000,
+		MapCacheSize: -1, ArtifactCacheSize: -1,
+	})
+}
+
+// coldBuild runs one prepare → run → apply → rollback cycle and returns
+// the prepare-to-apply wall time.
+func coldBuild(ctx context.Context, e *core.Explorer) (time.Duration, error) {
+	start := time.Now()
+	b, err := e.PrepareSelect(0)
+	if err != nil {
+		return 0, err
+	}
+	m, err := b.Run(ctx, nil)
+	if err != nil {
+		return 0, err
+	}
+	if err := e.ApplyBuild(b, m); err != nil {
+		return 0, err
+	}
+	d := time.Since(start)
+	return d, e.Rollback()
+}
+
+// recordObsBuild mirrors what the session layer records per build: the
+// stage histograms and the end-to-end histogram, fed from the finished
+// trace. It is part of the "on" cost.
+func recordObsBuild(reg *obs.Registry, tr *obs.Trace) {
+	tr.Finish()
+	snap := tr.Snapshot()
+	for _, sp := range snap.Spans {
+		reg.Histogram("blaeu_build_stage_seconds", "Build pipeline stage durations.", nil,
+			obs.Labels{"stage": sp.Name}).Observe(sp.DurationMs / 1e3)
+	}
+	reg.Histogram("blaeu_build_seconds", "End-to-end build durations by action and reuse tier.", nil,
+		obs.Labels{"action": "select", "reuse": snap.Attrs["reuse"]}).Observe(snap.TotalMs / 1e3)
+}
+
+func median(ds []time.Duration) float64 {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	n := len(ds)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return float64(ds[n/2].Nanoseconds())
+	}
+	return float64(ds[n/2-1].Nanoseconds()+ds[n/2].Nanoseconds()) / 2
+}
+
+// obsBench measures the overhead entry: warmup rounds, then interleaved
+// off/on builds on twin explorers (same seed, same data, same disabled
+// caches) so both modes do identical clustering work.
+func obsBench(rows, builds int, seed int64) (*obsBenchEntry, error) {
+	const warmup = 3
+	offExp, err := obsBenchExplorer(rows, seed)
+	if err != nil {
+		return nil, err
+	}
+	onExp, err := obsBenchExplorer(rows, seed)
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.NewRegistry()
+
+	onBuild := func() (time.Duration, error) {
+		tr := obs.NewTrace(obs.Wall)
+		tr.SetAttr("action", "select")
+		d, err := coldBuild(obs.WithTrace(context.Background(), tr), onExp)
+		if err != nil {
+			return 0, err
+		}
+		recordObsBuild(reg, tr)
+		return d, nil
+	}
+
+	for i := 0; i < warmup; i++ {
+		if _, err := coldBuild(context.Background(), offExp); err != nil {
+			return nil, err
+		}
+		if _, err := onBuild(); err != nil {
+			return nil, err
+		}
+	}
+	offs := make([]time.Duration, 0, builds)
+	ons := make([]time.Duration, 0, builds)
+	for i := 0; i < builds; i++ {
+		d, err := coldBuild(context.Background(), offExp)
+		if err != nil {
+			return nil, err
+		}
+		offs = append(offs, d)
+		d, err = onBuild()
+		if err != nil {
+			return nil, err
+		}
+		ons = append(ons, d)
+	}
+
+	e := &obsBenchEntry{
+		Rows: rows, SampleSize: 1000, Builds: builds,
+		OffNs: median(offs), OnNs: median(ons),
+	}
+	if e.OffNs > 0 {
+		e.OverheadPct = (e.OnNs - e.OffNs) / e.OffNs * 100
+	}
+	return e, nil
+}
+
+// writeObsBench records the obs section into the bench file at path,
+// preserving any other sections already recorded there.
+func writeObsBench(path string, rows, builds int, seed int64) error {
+	var out pamBenchFile
+	if prev, err := os.ReadFile(path); err == nil {
+		// Best effort: a malformed existing file is replaced outright.
+		_ = json.Unmarshal(prev, &out)
+	}
+	e, err := obsBench(rows, builds, seed)
+	if err != nil {
+		return err
+	}
+	out.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	out.GoVersion = runtime.Version()
+	out.NumCPU = runtime.NumCPU()
+	out.Commit = gitShortHash()
+	out.Seed = seed
+	out.Obs = []obsBenchEntry{*e}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	fmt.Printf("obs bench (%d rows, %d builds/mode): off %.2fms, on %.2fms, overhead %+.2f%%, wrote %s\n",
+		e.Rows, e.Builds, e.OffNs/1e6, e.OnNs/1e6, e.OverheadPct, path)
+	return nil
+}

@@ -17,7 +17,16 @@
 //	       [-max-queued 1024] [-max-queued-per-session 16]
 //	       [-map-cache 0] [-artifact-cache 0]
 //	       [-tenant-weights gold=4,free=1] [-tenant-max-in-flight 0]
-//	       [-page-budget-mb 256] [file.csv | file.seg ...]
+//	       [-page-budget-mb 256] [-pprof-addr ""] [-slow-build-ms 1000]
+//	       [file.csv | file.seg ...]
+//
+// Telemetry: GET /metrics serves the Prometheus-format registry (the
+// scheduler, cache tiers, buffer pool and build-stage histograms), each
+// build job records a per-stage trace at
+// GET /api/sessions/{id}/jobs/{jobID}/trace, builds slower than
+// -slow-build-ms are logged to stderr as JSON with their stage
+// breakdown, and -pprof-addr serves net/http/pprof on a separate
+// listener (off by default).
 //
 // Files ending in .seg are opened as out-of-core paged columnar
 // segments (see internal/store/segment, cmd/blaeu-convert): rows stay
@@ -30,8 +39,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -40,6 +51,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/session"
 	"repro/internal/store"
@@ -81,6 +93,8 @@ func main() {
 	tenantWeights := flag.String("tenant-weights", "", "weighted-round-robin weights per tenant, e.g. gold=4,free=1 (unlisted tenants weigh 1)")
 	tenantInFlight := flag.Int("tenant-max-in-flight", 0, "max concurrently running jobs per tenant (0 = unbounded)")
 	pageBudgetMB := flag.Int64("page-budget-mb", 256, "buffer-pool byte budget (MiB) shared by all .seg datasets")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty disables)")
+	slowBuildMS := flag.Int64("slow-build-ms", 1000, "log builds slower than this with their stage breakdown (0 disables)")
 	flag.Parse()
 
 	weights, err := parseWeights(*tenantWeights)
@@ -98,11 +112,20 @@ func main() {
 				rand.New(rand.NewSource(*seed+2))).Table
 		}
 	}
+	// The telemetry plane: one registry feeds /metrics, the scheduler's
+	// counters, the build histograms and the buffer-pool series; the
+	// structured logger receives the slow-build log on stderr.
+	tel := &obs.Telemetry{
+		Registry:  obs.NewRegistry(),
+		Logger:    slog.New(slog.NewJSONHandler(os.Stderr, nil)),
+		SlowBuild: time.Duration(*slowBuildMS) * time.Millisecond,
+	}
+
 	var segPool *segment.Pool
 	for _, path := range flag.Args() {
 		if strings.HasSuffix(path, ".seg") {
 			if segPool == nil {
-				segPool = segment.NewPool(*pageBudgetMB << 20)
+				segPool = segment.NewPoolObs(*pageBudgetMB<<20, tel.Registry)
 			}
 			t, err := store.OpenSegmentTableWith(path, segPool)
 			if err != nil {
@@ -127,12 +150,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	manager := session.NewManagerConfig(jobs.Config{
+	manager := session.NewManagerObs(jobs.Config{
 		MaxQueued:           *maxQueued,
 		MaxQueuedPerSession: *sessionQueue,
 		Weights:             weights,
 		DefaultMaxInFlight:  *tenantInFlight,
-	})
+	}, tel)
 	srv := server.NewWith(datasets, core.Options{
 		Seed: *seed, SampleSize: *sample,
 		MapCacheSize: *mapCache, ArtifactCacheSize: *artifactCache,
@@ -142,6 +165,20 @@ func main() {
 		// scheduled jobs) are reclaimed within 1.25 × TTL.
 		stop := srv.Manager().StartEvictor(*sessionTTL, *sessionTTL/4)
 		defer stop()
+	}
+	if *pprofAddr != "" {
+		// pprof gets its own listener and mux so profiling is never
+		// exposed on the public API address by accident.
+		go func() {
+			mux := http.NewServeMux()
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			log.Printf("pprof listening on %s", *pprofAddr)
+			log.Fatal(http.ListenAndServe(*pprofAddr, mux))
+		}()
 	}
 	log.Printf("Blaeu serving %d datasets on %s (%d job workers, queue caps %d total / %d per session)",
 		len(datasets), *addr, srv.Manager().Pool().Workers(), *maxQueued, *sessionQueue)

@@ -28,7 +28,7 @@ import (
 var Lockcheck = &Analyzer{
 	Name:  "lockcheck",
 	Doc:   "require unlock on every path and forbid blocking operations while a mutex is held",
-	Scope: []string{"internal/jobs", "internal/session", "internal/core"},
+	Scope: []string{"internal/jobs", "internal/session", "internal/core", "internal/obs"},
 	Run:   runLockcheck,
 }
 

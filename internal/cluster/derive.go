@@ -116,6 +116,9 @@ type lazySubset struct {
 
 	mu   sync.Mutex
 	rows map[int][]float64
+	// evals counts rows computed from the vectors (parent-memo gathers
+	// are reuse, not evaluation); guarded by mu.
+	evals int64
 }
 
 // N implements Oracle.
@@ -142,6 +145,7 @@ func (o *lazySubset) RowInto(i int, dst []float64) {
 	}
 	o.mu.Unlock()
 	pi := o.idx[i]
+	computed := false
 	if prow := o.parent.peekRow(pi); prow != nil {
 		for j, pj := range o.idx {
 			dst[j] = prow[pj]
@@ -155,8 +159,12 @@ func (o *lazySubset) RowInto(i int, dst []float64) {
 			}
 			dst[j] = o.parent.metric.Dist(vi, o.parent.vecs[pj])
 		}
+		computed = true
 	}
 	o.mu.Lock()
+	if computed {
+		o.evals += int64(len(o.idx) - 1)
+	}
 	if len(o.rows) < o.maxRows {
 		if _, ok := o.rows[i]; !ok {
 			o.rows[i] = append([]float64(nil), dst...)

@@ -1,0 +1,66 @@
+package cluster
+
+// EvalCounter is implemented by oracles that can report how many exact
+// metric evaluations have gone into their storage — matrix cells,
+// memoized rows, k-NN graph edges and pivot rows. The count is
+// cumulative; callers interested in the work of one build take a
+// before/after delta (see core's build trace).
+//
+// The contract is deliberately storage-based, not call-based: counts are
+// maintained analytically (DistMatrix, KNNOracle: fixed at
+// construction) or amortized under a lock the oracle already takes
+// (LazyOracle's row memo), never by instrumenting the per-call Dist
+// path — a wrapper there measurably slows PAM's hot loops (an extra
+// interface dispatch plus a shared atomic costs several percent of a
+// whole build). The flip side: lock-free scan evaluations of the lazy
+// oracles (their Dist computes directly, by design) go uncounted, and
+// derived oracles report only evaluations of their own — reads through
+// the parent's storage are the reuse being measured, not new work.
+type EvalCounter interface {
+	// DistEvals returns the cumulative number of exact metric
+	// evaluations embodied in the oracle's storage.
+	DistEvals() int64
+}
+
+// DistEvals implements EvalCounter: the condensed matrix holds every
+// pair exactly once, all computed at construction.
+func (m *DistMatrix) DistEvals() int64 {
+	n := int64(m.n)
+	if n < 2 {
+		return 0
+	}
+	return n * (n - 1) / 2
+}
+
+// DistEvals implements EvalCounter: metric evaluations performed by
+// RowInto materializations (whether or not the row was retained by the
+// bounded memo). Direct Dist calls compute lock-free and are not
+// individually counted — see EvalCounter.
+func (o *LazyOracle) DistEvals() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.evals
+}
+
+// DistEvals implements EvalCounter for the derived lazy oracle: only
+// rows computed from the vectors count; rows gathered out of the
+// parent's memo are reuse, not evaluation.
+func (o *lazySubset) DistEvals() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.evals
+}
+
+// DistEvals implements EvalCounter: the graph build's brute-force pass
+// (n·(n-1) ordered pairs) plus the pivot rows, fixed at construction.
+// A derived (induced-subgraph) KNNOracle reports 0: induction copies
+// parent storage without evaluating the metric.
+func (o *KNNOracle) DistEvals() int64 { return o.evals }
+
+// DistEvals implements EvalCounter: a matrix view reads the parent's
+// condensed storage and never evaluates the metric.
+func (v *matrixView) DistEvals() int64 { return 0 }
+
+// DistEvals implements EvalCounter: the re-indexing fallback only
+// delegates; any evaluation happens inside the parent.
+func (o *SubsetOracle) DistEvals() int64 { return 0 }

@@ -111,6 +111,9 @@ type LazyOracle struct {
 
 	mu   sync.Mutex
 	rows map[int][]float64
+	// evals counts metric evaluations made by RowInto materializations
+	// (guarded by mu; see EvalCounter for why Dist is not counted).
+	evals int64
 }
 
 // NewLazyOracle returns a lazy oracle over the vectors.
@@ -156,6 +159,7 @@ func (o *LazyOracle) RowInto(i int, dst []float64) {
 		dst[j] = o.metric.Dist(vi, o.vecs[j])
 	}
 	o.mu.Lock()
+	o.evals += int64(len(o.vecs) - 1)
 	if len(o.rows) < o.maxRows {
 		if _, ok := o.rows[i]; !ok {
 			o.rows[i] = append([]float64(nil), dst...)
@@ -228,6 +232,9 @@ type KNNOracle struct {
 	adjDist [][]float64
 	// pivotD[p][j] is the exact distance from pivot p to object j.
 	pivotD [][]float64
+	// evals is the metric-evaluation count of the graph build, fixed at
+	// construction (0 for derived oracles — induction copies storage).
+	evals int64
 }
 
 // NewKNNOracle builds the k-NN graph oracle over the vectors. The build
@@ -316,6 +323,9 @@ func NewKNNOracle(vecs [][]float64, metric stats.Distance, opts KNNOracleOptions
 		o.adjIdx[i] = idx
 		o.adjDist[i] = dist
 	}
+	// Pivot rows evaluate n-1 pairs each; the k-NN pass evaluates every
+	// ordered pair once.
+	o.evals = int64(opts.Pivots)*int64(n-1) + int64(n)*int64(n-1)
 	return o
 }
 

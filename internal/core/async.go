@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -197,6 +198,11 @@ func (b *MapBuild) Rows() int { return len(b.rows) }
 // not free), off the lock; the shared parent artifact is read-only, so
 // concurrent derived Runs against the same parent are safe.
 func (b *MapBuild) Run(ctx context.Context, progress func(float64)) (*Map, error) {
+	// Record the reuse tier on the build trace, if one rides the
+	// context. Run (not prepare) owns the attribute because it can still
+	// demote a derivation to a cold build below.
+	tr := obs.TraceFrom(ctx)
+	tr.SetAttr("reuse", string(b.reuse))
 	if b.hit != nil {
 		if progress != nil {
 			progress(1)
@@ -207,7 +213,9 @@ func (b *MapBuild) Run(ctx context.Context, progress func(float64)) (*Map, error
 	}
 	art := b.parent
 	if art != nil && b.parentPos != nil {
+		sp := tr.Start("derive")
 		art = b.e.deriveArtifact(b.parent, b.parentPos, b.rng)
+		sp.End()
 		if constantVectors(art.vecs) {
 			// Prepare already rejected degenerate overlaps; this only
 			// fires in the pathological case where the derivation's
@@ -216,6 +224,7 @@ func (b *MapBuild) Run(ctx context.Context, progress func(float64)) (*Map, error
 			// the derivation counter).
 			art = nil
 			b.reuse = ReuseCold
+			tr.SetAttr("reuse", string(ReuseCold))
 		}
 	}
 	m, built, err := b.e.buildMapStaged(ctx, b.rng, b.rows, b.theme, art, progress)

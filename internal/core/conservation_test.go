@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCacheTierCounterConservation drives several explorers through a
+// navigation workload concurrently (run under -race via `make
+// race-store`) and checks the tier counters against their conservation
+// laws:
+//
+//   - every prepared build consults the map tier exactly once, so
+//     Map.Hits + Map.Misses == builds prepared;
+//   - the artifact tier is consulted exactly on map misses, so
+//     Artifact.Hits + Artifact.Derived + Artifact.Misses == Map.Misses
+//     (the degenerate-overlap demotion moves derived → misses, which
+//     keeps the sum intact);
+//   - entries only follow misses, so Evictions <= Misses per tier, and
+//     Entries <= Capacity.
+func TestCacheTierCounterConservation(t *testing.T) {
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			tbl, _, _ := laborTable(240, 7)
+			e, err := NewExplorer(tbl, Options{
+				Seed: seed, MapCacheSize: 2, ArtifactCacheSize: 2, DerivedSampleMin: 10,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			builds := 0
+			themes := len(e.Themes())
+			if themes > 3 {
+				themes = 3
+			}
+			for i := 0; i < themes; i++ {
+				if _, err := e.SelectTheme(i); err != nil {
+					t.Errorf("seed %d select %d: %v", seed, i, err)
+					return
+				}
+				builds++
+				if _, err := e.Zoom(leafPath(t, e)...); err != nil {
+					t.Errorf("seed %d zoom: %v", seed, err)
+					return
+				}
+				builds++
+				if err := e.Rollback(); err != nil {
+					t.Errorf("seed %d rollback: %v", seed, err)
+					return
+				}
+				if err := e.Rollback(); err != nil {
+					t.Errorf("seed %d rollback: %v", seed, err)
+					return
+				}
+			}
+			// Revisits: some of these hit the small map tier, the rest
+			// churn it (capacity 2 forces evictions).
+			for i := 0; i < themes; i++ {
+				if _, err := e.SelectTheme(i); err != nil {
+					t.Errorf("seed %d re-select %d: %v", seed, i, err)
+					return
+				}
+				builds++
+				if err := e.Rollback(); err != nil {
+					t.Errorf("seed %d rollback: %v", seed, err)
+					return
+				}
+			}
+
+			s := e.ReuseStats()
+			if got := s.Map.Hits + s.Map.Misses; got != builds {
+				t.Errorf("seed %d: map hits %d + misses %d = %d, want %d lookups",
+					seed, s.Map.Hits, s.Map.Misses, got, builds)
+			}
+			if got := s.Artifact.Hits + s.Artifact.Derived + s.Artifact.Misses; got != s.Map.Misses {
+				t.Errorf("seed %d: artifact hits %d + derived %d + misses %d = %d, want %d (map misses)",
+					seed, s.Artifact.Hits, s.Artifact.Derived, s.Artifact.Misses, got, s.Map.Misses)
+			}
+			for tier, ts := range map[string]TierStats{"map": s.Map, "artifact": s.Artifact} {
+				if ts.Evictions > ts.Misses {
+					t.Errorf("seed %d: %s evictions %d > misses %d (inserts only follow misses)",
+						seed, tier, ts.Evictions, ts.Misses)
+				}
+				if ts.Entries > ts.Capacity {
+					t.Errorf("seed %d: %s entries %d > capacity %d", seed, tier, ts.Entries, ts.Capacity)
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+}

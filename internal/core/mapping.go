@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/prep"
 	"repro/internal/store"
 	"repro/internal/tree"
@@ -76,26 +77,40 @@ func (e *Explorer) buildMapStaged(ctx context.Context, rng *rand.Rand, rows []in
 			progress(f)
 		}
 	}
+	// The build trace, when one rides the context. Every obs call below
+	// is nil-safe, and the time reads happen inside obs through its
+	// injected clock — core itself never touches the wall clock.
+	tr := obs.TraceFrom(ctx)
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 	if len(rows) == 0 {
 		return nil, nil, fmt.Errorf("core: empty selection")
 	}
+	// Distance work is accounted as a before/after delta of the oracle's
+	// own evaluation count (cluster.EvalCounter) — storage-based and free,
+	// where wrapping the per-call Dist path costs several percent of a
+	// build. A reused artifact starts at its accumulated count, so the
+	// delta is exactly this build's new evaluations.
+	evalsBefore := distEvals(art)
 
 	var sample *store.Table
 	if art == nil {
 		// Stage 0: multi-scale sampling.
+		sp := tr.Start("sample")
 		sampleRows := e.sampleStage(rng, rows)
 		sample = e.table.Gather(sampleRows)
+		sp.End()
 		report(0.05)
 
 		// Stage 1: preprocessing. A selection that is constant (or
 		// key-only) on the theme's columns has no cluster structure left:
 		// degrade to a single-region map instead of failing, so users can
 		// zoom to the bottom of any region and still roll back.
+		sp = tr.Start("prep")
 		var err error
 		art, err = e.prepStage(sample, sampleRows, theme)
+		sp.End()
 		if err != nil {
 			report(1)
 			return &Map{
@@ -106,17 +121,24 @@ func (e *Explorer) buildMapStaged(ctx context.Context, rng *rand.Rand, rows []in
 		}
 
 		// Stage 2a: the distance oracle over the prepared vectors.
+		sp = tr.Start("oracle")
 		e.oracleStage(art)
+		sp.End()
 	} else {
 		// Reused artifact (exact hit or derived): the sample is already
 		// chosen, prepped and backed by an oracle; only the description
-		// stage still needs the raw tuples.
+		// stage still needs the raw tuples. The gather is this path's
+		// whole sampling work, so it books under the sample span.
+		sp := tr.Start("sample")
 		sample = e.table.Gather(art.sampleRows)
+		sp.End()
 	}
 	report(0.15)
 
 	// Stage 2b: cluster detection with automatic k.
+	sp := tr.Start("cluster")
 	clustering, err := e.clusterStage(ctx, art, rng, report)
+	sp.End()
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, nil, ctxErr
@@ -127,11 +149,31 @@ func (e *Explorer) buildMapStaged(ctx context.Context, rng *rand.Rand, rows []in
 
 	// Stages 3–4: cluster description and extension to the full
 	// selection.
+	sp = tr.Start("region")
 	m, err := e.regionStage(ctx, art, sample, clustering, rows, theme, report)
+	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}
+	if tr != nil {
+		if d := distEvals(art) - evalsBefore; d > 0 {
+			tr.Int("oracleDistEvals").Add(d)
+		}
+	}
 	return m, art, nil
+}
+
+// distEvals reads the cumulative metric-evaluation count of the
+// artifact's oracle, when it exposes one; 0 for a nil artifact (cold
+// build not yet prepped) or an oracle without the counter.
+func distEvals(art *buildArtifact) int64 {
+	if art == nil || art.oracle == nil {
+		return 0
+	}
+	if c, ok := art.oracle.(cluster.EvalCounter); ok {
+		return c.DistEvals()
+	}
+	return 0
 }
 
 // sampleStage draws the multi-scale sample: at most opts.SampleSize of

@@ -46,6 +46,8 @@ package jobs
 import (
 	"context"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Status is a job's lifecycle state. Transitions are strictly
@@ -101,6 +103,7 @@ type Job struct {
 	result   any
 	err      error
 	meta     map[string]any
+	trace    *obs.Trace
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -164,6 +167,23 @@ func (j *Job) SetMeta(key string, value any) {
 	j.pool.mu.Unlock()
 }
 
+// SetTrace attaches the build trace recorded while the job ran, making
+// it retrievable through Trace (the per-job trace endpoint). Safe to
+// call from inside Func.
+func (j *Job) SetTrace(t *obs.Trace) {
+	j.pool.mu.Lock()
+	j.trace = t
+	j.pool.mu.Unlock()
+}
+
+// Trace returns the job's build trace, nil when none was recorded
+// (every *obs.Trace method is nil-safe).
+func (j *Job) Trace() *obs.Trace {
+	j.pool.mu.Lock()
+	defer j.pool.mu.Unlock()
+	return j.trace
+}
+
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
@@ -218,6 +238,11 @@ type Info struct {
 	StartedAt  string         `json:"startedAt,omitempty"`
 	FinishedAt string         `json:"finishedAt,omitempty"`
 	Deadline   string         `json:"deadline,omitempty"`
+	// QueueWaitMs is submit-to-dispatch (for shed jobs, submit-to-shed);
+	// RunMs is dispatch-to-finish. Both derive from the timestamps above
+	// and appear once the corresponding interval has closed.
+	QueueWaitMs float64 `json:"queueWaitMs,omitempty"`
+	RunMs       float64 `json:"runMs,omitempty"`
 }
 
 // Info snapshots the job under the pool lock.
@@ -243,6 +268,17 @@ func (j *Job) Info() Info {
 	}
 	if j.tenant != j.session {
 		out.Tenant = j.tenant
+	}
+	switch {
+	case !j.started.IsZero():
+		out.QueueWaitMs = j.started.Sub(j.created).Seconds() * 1e3
+		if !j.finished.IsZero() {
+			out.RunMs = j.finished.Sub(j.started).Seconds() * 1e3
+		}
+	case !j.finished.IsZero():
+		// Never dispatched (shed, or cancelled while queued): the whole
+		// life was queue wait.
+		out.QueueWaitMs = j.finished.Sub(j.created).Seconds() * 1e3
 	}
 	if j.err != nil {
 		out.Error = j.err.Error()

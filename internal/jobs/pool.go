@@ -8,6 +8,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // DefaultRetainPerSession bounds how many terminal jobs the pool keeps
@@ -84,6 +86,11 @@ type Config struct {
 	// DefaultMaxInFlight is the in-flight cap of tenants absent from
 	// MaxInFlight (<= 0 means unbounded).
 	DefaultMaxInFlight int
+	// Obs receives the scheduler's metrics (outcome counters, queue
+	// depth gauges, queue-wait and run-time histograms). nil is valid:
+	// the pool then counts into detached handles, so Stats keeps
+	// working without a registry.
+	Obs *obs.Registry
 }
 
 // SubmitOptions carries the optional per-job scheduling knobs of
@@ -114,6 +121,13 @@ type tenantState struct {
 	pins        int      // sessions pinned to this tenant (sessionTenant)
 
 	done, failed, cancelled, shed, rejected uint64
+
+	// Labeled registry counters mirroring the plain counters above.
+	// Pruning the tenant drops the plain counters (Stats covers the
+	// current lifetime) but the registry series persist — get-or-create
+	// hands the same handles back if the tenant returns, so
+	// blaeu_tenant_jobs_total is cumulative the way Prometheus expects.
+	mDone, mFailed, mCancelled, mShed, mRejected *obs.Counter
 }
 
 // Pool is a bounded worker pool dispatching jobs FIFO per session, with
@@ -141,9 +155,13 @@ type Pool struct {
 	released      map[string]struct{} // sessions dropped by the session tier, draining
 
 	queuedTotal int
-	// Pool-lifetime outcome counters (tenantState counters are pruned
-	// with their tenant; these never reset).
-	done, failed, cancelled, shedTotal, rejected uint64
+	// Pool-lifetime outcome counters, held as registry handles so the
+	// scheduler's counts and /metrics are one source of truth
+	// (tenantState counters are pruned with their tenant; these never
+	// reset). With no registry configured the handles are detached but
+	// still count.
+	done, failed, cancelled, shedTotal, rejected *obs.Counter
+	queueWait, runTime                           *obs.Histogram
 	nextID                                       int
 	closed                                       bool
 
@@ -177,6 +195,27 @@ func NewPoolConfig(cfg Config) *Pool {
 		released:      make(map[string]struct{}),
 		compute:       make(chan struct{}, cfg.Workers),
 	}
+	reg := cfg.Obs
+	const outcomeHelp = "Jobs by terminal outcome."
+	p.done = reg.Counter("blaeu_jobs_total", outcomeHelp, obs.Labels{"outcome": "done"})
+	p.failed = reg.Counter("blaeu_jobs_total", outcomeHelp, obs.Labels{"outcome": "failed"})
+	p.cancelled = reg.Counter("blaeu_jobs_total", outcomeHelp, obs.Labels{"outcome": "cancelled"})
+	p.shedTotal = reg.Counter("blaeu_jobs_total", outcomeHelp, obs.Labels{"outcome": "shed"})
+	p.rejected = reg.Counter("blaeu_jobs_total", outcomeHelp, obs.Labels{"outcome": "rejected"})
+	p.queueWait = reg.Histogram("blaeu_job_queue_wait_seconds",
+		"Submit-to-dispatch wait (shed jobs: submit-to-shed).", nil, nil)
+	p.runTime = reg.Histogram("blaeu_job_run_seconds",
+		"Dispatch-to-finish run time of jobs that reached a worker.", nil, nil)
+	gQueued := reg.Gauge("blaeu_jobs_queued", "Jobs currently queued across all sessions.", nil)
+	gRunning := reg.Gauge("blaeu_jobs_running", "Jobs currently running.", nil)
+	reg.Gauge("blaeu_jobs_workers", "Configured worker parallelism.", nil).Set(float64(cfg.Workers))
+	reg.RegisterCollector(func() {
+		p.mu.Lock()
+		q, r := p.queuedTotal, len(p.running)
+		p.mu.Unlock()
+		gQueued.Set(float64(q))
+		gRunning.Set(float64(r))
+	})
 	p.cond = sync.NewCond(&p.mu)
 	for i := 0; i < cfg.Workers; i++ {
 		p.wg.Add(1)
@@ -210,13 +249,15 @@ func (p *Pool) SubmitOpts(session, kind string, fn Func, opts SubmitOptions) (*J
 	t := p.tenantFor(tenant)
 	if cap := p.cfg.MaxQueuedPerSession; cap > 0 && len(p.queues[session]) >= cap {
 		t.rejected++
-		p.rejected++
+		t.mRejected.Inc()
+		p.rejected.Inc()
 		p.maybeDropTenantLocked(tenant)
 		return nil, &QueueFullError{Scope: ScopeSession, Key: session, Limit: cap}
 	}
 	if cap := p.cfg.MaxQueued; cap > 0 && p.queuedTotal >= cap {
 		t.rejected++
-		p.rejected++
+		t.mRejected.Inc()
+		p.rejected.Inc()
 		p.maybeDropTenantLocked(tenant)
 		return nil, &QueueFullError{Scope: ScopePool, Key: tenant, Limit: cap}
 	}
@@ -286,6 +327,13 @@ func (p *Pool) tenantFor(name string) *tenantState {
 		mif = 0
 	}
 	t := &tenantState{weight: w, maxInFlight: mif}
+	const help = "Jobs by tenant and terminal outcome."
+	reg := p.cfg.Obs
+	t.mDone = reg.Counter("blaeu_tenant_jobs_total", help, obs.Labels{"tenant": name, "outcome": "done"})
+	t.mFailed = reg.Counter("blaeu_tenant_jobs_total", help, obs.Labels{"tenant": name, "outcome": "failed"})
+	t.mCancelled = reg.Counter("blaeu_tenant_jobs_total", help, obs.Labels{"tenant": name, "outcome": "cancelled"})
+	t.mShed = reg.Counter("blaeu_tenant_jobs_total", help, obs.Labels{"tenant": name, "outcome": "shed"})
+	t.mRejected = reg.Counter("blaeu_tenant_jobs_total", help, obs.Labels{"tenant": name, "outcome": "rejected"})
 	p.tenants[name] = t
 	return t
 }
@@ -479,17 +527,22 @@ type TenantStats struct {
 // tenant's entry, including its counters, is pruned when its last
 // session is released; the pool-level counters never reset.
 type Stats struct {
-	Workers             int                    `json:"workers"`
-	Queued              int                    `json:"queued"`
-	Running             int                    `json:"running"`
-	MaxQueued           int                    `json:"maxQueued,omitempty"`
-	MaxQueuedPerSession int                    `json:"maxQueuedPerSession,omitempty"`
-	Done                uint64                 `json:"done"`
-	Failed              uint64                 `json:"failed"`
-	Cancelled           uint64                 `json:"cancelled"`
-	Shed                uint64                 `json:"shed"`
-	Rejected            uint64                 `json:"rejected"`
-	Tenants             map[string]TenantStats `json:"tenants,omitempty"`
+	Workers             int    `json:"workers"`
+	Queued              int    `json:"queued"`
+	Running             int    `json:"running"`
+	MaxQueued           int    `json:"maxQueued,omitempty"`
+	MaxQueuedPerSession int    `json:"maxQueuedPerSession,omitempty"`
+	Done                uint64 `json:"done"`
+	Failed              uint64 `json:"failed"`
+	Cancelled           uint64 `json:"cancelled"`
+	Shed                uint64 `json:"shed"`
+	Rejected            uint64 `json:"rejected"`
+	// AvgQueueWaitMs / AvgRunMs are pool-lifetime means derived from
+	// the queue-wait and run-time histograms (the same series /metrics
+	// exports with full distributions).
+	AvgQueueWaitMs float64                `json:"avgQueueWaitMs,omitempty"`
+	AvgRunMs       float64                `json:"avgRunMs,omitempty"`
+	Tenants        map[string]TenantStats `json:"tenants,omitempty"`
 }
 
 // Stats snapshots the scheduler under the pool lock.
@@ -502,11 +555,17 @@ func (p *Pool) Stats() Stats {
 		Running:             len(p.running),
 		MaxQueued:           p.cfg.MaxQueued,
 		MaxQueuedPerSession: p.cfg.MaxQueuedPerSession,
-		Done:                p.done,
-		Failed:              p.failed,
-		Cancelled:           p.cancelled,
-		Shed:                p.shedTotal,
-		Rejected:            p.rejected,
+		Done:                p.done.Value(),
+		Failed:              p.failed.Value(),
+		Cancelled:           p.cancelled.Value(),
+		Shed:                p.shedTotal.Value(),
+		Rejected:            p.rejected.Value(),
+	}
+	if n := p.queueWait.Count(); n > 0 {
+		st.AvgQueueWaitMs = p.queueWait.Sum() / float64(n) * 1e3
+	}
+	if n := p.runTime.Count(); n > 0 {
+		st.AvgRunMs = p.runTime.Sum() / float64(n) * 1e3
 	}
 	if len(p.tenants) > 0 {
 		st.Tenants = make(map[string]TenantStats, len(p.tenants))
@@ -795,8 +854,11 @@ func (p *Pool) shedLocked(j *Job) {
 	j.fn = nil
 	if t := p.tenants[j.tenant]; t != nil {
 		t.shed++
+		t.mShed.Inc()
 	}
-	p.shedTotal++
+	p.shedTotal.Inc()
+	// A shed job waited its whole life: submit to shed.
+	p.queueWait.Observe(j.finished.Sub(j.created).Seconds())
 	p.retainLocked(j)
 }
 
@@ -811,24 +873,34 @@ func (p *Pool) finishLocked(j *Job, res any, err error) {
 		j.status = StatusDone
 		j.result = res
 		j.progress = 1
-		p.done++
+		p.done.Inc()
 		if t != nil {
 			t.done++
+			t.mDone.Inc()
 		}
 	case errors.Is(err, context.Canceled) || j.ctx.Err() != nil:
 		j.status = StatusCancelled
 		j.err = err
-		p.cancelled++
+		p.cancelled.Inc()
 		if t != nil {
 			t.cancelled++
+			t.mCancelled.Inc()
 		}
 	default:
 		j.status = StatusFailed
 		j.err = err
-		p.failed++
+		p.failed.Inc()
 		if t != nil {
 			t.failed++
+			t.mFailed.Inc()
 		}
+	}
+	if !j.started.IsZero() {
+		p.queueWait.Observe(j.started.Sub(j.created).Seconds())
+		p.runTime.Observe(j.finished.Sub(j.started).Seconds())
+	} else {
+		// Cancelled while still queued: its whole life was queue wait.
+		p.queueWait.Observe(j.finished.Sub(j.created).Seconds())
 	}
 	close(j.done)
 	j.cancelFn() // release the context's resources in every path

@@ -1,0 +1,107 @@
+// Package obs is Blaeu's telemetry plane: a dependency-free metrics
+// registry (counters, gauges, fixed-bucket histograms rendered in
+// Prometheus text format and snapshot-able as JSON), per-build tracing
+// (a Trace propagated via context through the staged build pipeline),
+// and the structured-logging / clock plumbing the serving tiers share.
+//
+// The package exists so the system can answer "where did a slow build
+// spend its time" — the precondition for the sharding and adaptive
+// admission-control work (ROADMAP items 3 and 6), which need
+// per-(oracle, reuse-tier) latency distributions to derive predictions
+// from.
+//
+// Determinism contract: the algorithmic core (internal/cluster, core,
+// prep, graph, stats, store) must never read the wall clock directly —
+// the blaeu-lint determinism analyzer enforces it. obs therefore owns
+// the clock: tracing code in those packages calls Trace.Start /
+// Span.End, and the time reads happen here, through the Clock injected
+// into the Trace at the jobs/session boundary. Tests inject a fake
+// Clock; production uses Wall.
+//
+// Everything is nil-tolerant: a nil *Registry hands out detached (but
+// functional) metric handles, a nil *Trace records nothing, and a nil
+// *Telemetry falls back to the wall clock and a discarding logger — so
+// library users who never touch telemetry pay near zero.
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"time"
+)
+
+// Clock abstracts the wall clock so telemetry timing is injectable:
+// production uses Wall, tests use a fake advancing manually.
+type Clock interface {
+	Now() time.Time
+}
+
+// clockFunc adapts a function to the Clock interface.
+type clockFunc func() time.Time
+
+func (f clockFunc) Now() time.Time { return f() }
+
+// Wall is the real wall clock.
+var Wall Clock = clockFunc(time.Now)
+
+// ClockAt returns a fake Clock serving instants from the given
+// function — the test seam for deterministic trace timing.
+func ClockAt(now func() time.Time) Clock { return clockFunc(now) }
+
+// nopLogger discards every record (slog.DiscardHandler is Go 1.24+;
+// this module pins 1.22).
+var nopLogger = slog.New(slog.NewTextHandler(io.Discard, nil))
+
+// Telemetry bundles the telemetry plane handed to the serving tiers:
+// the metrics registry, the structured logger, the clock traces read
+// time through, and the slow-build log threshold. All fields are
+// optional; the accessors below resolve nil fields (and a nil
+// *Telemetry) to safe defaults.
+type Telemetry struct {
+	// Registry receives every metric. nil = metrics are recorded into
+	// detached handles and never exported.
+	Registry *Registry
+	// Logger receives structured events (the slow-build log). nil =
+	// discard.
+	Logger *slog.Logger
+	// Clock is the time source for traces. nil = Wall.
+	Clock Clock
+	// SlowBuild is the run-duration threshold above which a finished
+	// build is logged with its full stage breakdown. 0 disables the
+	// slow-build log.
+	SlowBuild time.Duration
+}
+
+// Reg returns the registry (nil when telemetry or the registry is
+// unset — metric constructors accept a nil registry).
+func (t *Telemetry) Reg() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.Registry
+}
+
+// Log returns the logger, never nil.
+func (t *Telemetry) Log() *slog.Logger {
+	if t == nil || t.Logger == nil {
+		return nopLogger
+	}
+	return t.Logger
+}
+
+// Time returns the clock, never nil.
+func (t *Telemetry) Time() Clock {
+	if t == nil || t.Clock == nil {
+		return Wall
+	}
+	return t.Clock
+}
+
+// SlowBuildThreshold returns the slow-build log threshold (0 =
+// disabled).
+func (t *Telemetry) SlowBuildThreshold() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.SlowBuild
+}

@@ -1,0 +1,474 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels identifies one series within a metric family. Identity is by
+// sorted key/value pairs: {"a":"1","b":"2"} names the same series no
+// matter the construction order (the sorted-label identity contract).
+type Labels map[string]string
+
+// DefBuckets are the default histogram bounds in seconds, spanning the
+// interactive range the paper targets (sub-ms cache hits to multi-
+// second cold builds).
+var DefBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Counter is a monotone uint64 metric. Safe for concurrent use; a
+// detached Counter (from a nil registry) still counts, it is just
+// never rendered.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable float64 metric. Safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram. Bounds are upper
+// bucket edges in ascending order; an implicit +Inf bucket catches the
+// rest. Safe for concurrent use.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last = +Inf
+	sum    Gauge           // float accumulator (atomic CAS add)
+	count  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// metric kinds.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// series is one registered (family, labels) pair.
+type series struct {
+	labels Labels // as given (already validated)
+	sig    string // canonical sorted render, e.g. `a="1",b="2"`
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups the series of one metric name, pinning its type, help
+// string and (for histograms) bucket bounds.
+type family struct {
+	name    string
+	kind    string
+	help    string
+	buckets []float64
+	series  map[string]*series // by sig
+}
+
+// Registry is a metrics registry: the single source of truth the
+// /metrics endpoint, the JSON snapshot and the stats APIs read from.
+// Handles are get-or-create — asking twice for the same (name, labels)
+// returns the same handle — and rendering is byte-stable: families
+// sorted by name, series by their canonical sorted-label signature.
+//
+// A nil *Registry is valid everywhere and hands out detached handles,
+// so instrumented subsystems need no nil checks at increment sites.
+type Registry struct {
+	mu         sync.Mutex
+	families   map[string]*family
+	collectors []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// RegisterCollector adds a hook run at the start of every render or
+// snapshot, before any lock is taken — the place to refresh gauges
+// that mirror external state (queue depths, buffer-pool occupancy).
+// Collectors must only touch pre-created metric handles; registering
+// new metrics from inside a collector deadlocks.
+func (r *Registry) RegisterCollector(f func()) {
+	if r == nil || f == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, f)
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use. Counter names should end in _total by Prometheus convention.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	s := r.lookup(name, kindCounter, help, nil, labels)
+	return s.c
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	s := r.lookup(name, kindGauge, help, nil, labels)
+	return s.g
+}
+
+// Histogram returns the histogram for (name, labels), creating it with
+// the given bucket bounds on first use (nil = DefBuckets). All series
+// of one family share the family's bounds; later calls may pass nil.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {
+	if r == nil {
+		return newHistogram(buckets)
+	}
+	s := r.lookup(name, kindHistogram, help, buckets, labels)
+	return s.h
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram buckets not ascending: %v", buckets))
+		}
+	}
+	bounds := append([]float64(nil), buckets...)
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// lookup is the get-or-create core. Mismatched re-registration (same
+// name, different kind or label keys) is a programming error and
+// panics — silently returning a second family under one name is how
+// duplicate series reach scrapers.
+func (r *Registry) lookup(name, kind, help string, buckets []float64, labels Labels) *series {
+	validateName(name)
+	for k := range labels {
+		validateName(k)
+	}
+	sig := labelSig(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, kind: kind, help: help, series: make(map[string]*series)}
+		if kind == kindHistogram {
+			if buckets == nil {
+				buckets = DefBuckets
+			}
+			fam.buckets = append([]float64(nil), buckets...)
+		}
+		r.families[name] = fam
+	}
+	if fam.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, fam.kind))
+	}
+	s, ok := fam.series[sig]
+	if !ok {
+		s = &series{labels: cloneLabels(labels), sig: sig}
+		switch kind {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindHistogram:
+			s.h = newHistogram(fam.buckets)
+		}
+		fam.series[sig] = s
+	}
+	return s
+}
+
+func cloneLabels(l Labels) Labels {
+	if len(l) == 0 {
+		return nil
+	}
+	out := make(Labels, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+// labelSig renders labels in canonical sorted order — the series
+// identity and the rendered {..} body.
+func labelSig(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l[k]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+func validateName(name string) {
+	if name == "" {
+		panic("obs: empty metric or label name")
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			panic(fmt.Sprintf("obs: invalid metric or label name %q", name))
+		}
+	}
+}
+
+// snapshotLocked captures a render-ordered view of the registry. The
+// caller holds r.mu; the returned structures alias no mutable registry
+// state except the metric handles themselves (atomics).
+func (r *Registry) orderedFamilies() []*family {
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	return fams
+}
+
+func (f *family) orderedSeries() []*series {
+	sigs := make([]string, 0, len(f.series))
+	for sig := range f.series {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	out := make([]*series, len(sigs))
+	for i, sig := range sigs {
+		out[i] = f.series[sig]
+	}
+	return out
+}
+
+// runCollectors snapshots and runs the collector hooks without holding
+// the registry lock (collectors take subsystem locks of their own).
+func (r *Registry) runCollectors() {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.collectors...)
+	r.mu.Unlock()
+	for _, f := range hooks {
+		f()
+	}
+}
+
+// WritePrometheus renders every metric in the Prometheus text
+// exposition format (version 0.0.4). Output is byte-stable: two
+// renders with no intervening metric activity are identical.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.runCollectors()
+	r.mu.Lock()
+	fams := r.orderedFamilies()
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.orderedSeries() {
+			switch f.kind {
+			case kindCounter:
+				writeSample(&b, f.name, "", s.sig, "", strconv.FormatUint(s.c.Value(), 10))
+			case kindGauge:
+				writeSample(&b, f.name, "", s.sig, "", formatFloat(s.g.Value()))
+			case kindHistogram:
+				// Snapshot counts bottom-up; cumulative sums for _bucket.
+				var cum uint64
+				for i, bound := range s.h.bounds {
+					cum += s.h.counts[i].Load()
+					writeSample(&b, f.name, "_bucket", s.sig,
+						`le="`+formatFloat(bound)+`"`, strconv.FormatUint(cum, 10))
+				}
+				cum += s.h.counts[len(s.h.bounds)].Load()
+				writeSample(&b, f.name, "_bucket", s.sig, `le="+Inf"`, strconv.FormatUint(cum, 10))
+				writeSample(&b, f.name, "_sum", s.sig, "", formatFloat(s.h.Sum()))
+				writeSample(&b, f.name, "_count", s.sig, "", strconv.FormatUint(s.h.Count(), 10))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeSample emits one sample line: name+suffix{labels,extra} value.
+func writeSample(b *strings.Builder, name, suffix, sig, extra, value string) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if sig != "" || extra != "" {
+		b.WriteByte('{')
+		b.WriteString(sig)
+		if sig != "" && extra != "" {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Snapshot is the JSON form of a registry render.
+type Snapshot struct {
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// MetricSnapshot is one family.
+type MetricSnapshot struct {
+	Name   string           `json:"name"`
+	Type   string           `json:"type"`
+	Help   string           `json:"help,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// SeriesSnapshot is one series. Value is set for counters and gauges;
+// Buckets/Sum/Count for histograms.
+type SeriesSnapshot struct {
+	Labels  Labels           `json:"labels,omitempty"`
+	Value   *float64         `json:"value,omitempty"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+	Sum     *float64         `json:"sum,omitempty"`
+	Count   *uint64          `json:"count,omitempty"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket (finite bounds
+// only; the implicit +Inf count equals the series Count).
+type BucketSnapshot struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// Snapshot captures every metric as JSON-marshallable data, in the
+// same deterministic order as WritePrometheus.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.runCollectors()
+	r.mu.Lock()
+	fams := r.orderedFamilies()
+	r.mu.Unlock()
+	var out Snapshot
+	for _, f := range fams {
+		ms := MetricSnapshot{Name: f.name, Type: f.kind, Help: f.help}
+		for _, s := range f.orderedSeries() {
+			ss := SeriesSnapshot{Labels: cloneLabels(s.labels)}
+			switch f.kind {
+			case kindCounter:
+				v := float64(s.c.Value())
+				ss.Value = &v
+			case kindGauge:
+				v := s.g.Value()
+				ss.Value = &v
+			case kindHistogram:
+				// Finite bounds only: +Inf is implied by Count (JSON has no
+				// infinity literal).
+				var cum uint64
+				for i, bound := range s.h.bounds {
+					cum += s.h.counts[i].Load()
+					ss.Buckets = append(ss.Buckets, BucketSnapshot{UpperBound: bound, Count: cum})
+				}
+				sum, count := s.h.Sum(), s.h.Count()
+				ss.Sum, ss.Count = &sum, &count
+			}
+			ms.Series = append(ms.Series, ss)
+		}
+		out.Metrics = append(out.Metrics, ms)
+	}
+	return out
+}

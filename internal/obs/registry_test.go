@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("blaeu_test_total", "a counter", nil)
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("blaeu_test_total", "a counter", nil); again != c {
+		t.Fatal("get-or-create returned a different counter handle")
+	}
+
+	g := r.Gauge("blaeu_test_gauge", "a gauge", nil)
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestLabelIdentityOrderIndependent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("blaeu_lbl_total", "", Labels{"tenant": "t1", "outcome": "done"})
+	b := r.Counter("blaeu_lbl_total", "", Labels{"outcome": "done", "tenant": "t1"})
+	if a != b {
+		t.Fatal("same labels in different construction order yielded distinct series")
+	}
+	c := r.Counter("blaeu_lbl_total", "", Labels{"outcome": "shed", "tenant": "t1"})
+	if c == a {
+		t.Fatal("distinct labels yielded the same series")
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("blaeu_hist_seconds", "", []float64{1, 2, 5}, nil)
+	for _, v := range []float64{0.5, 1, 1.5, 2, 7} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 12 {
+		t.Fatalf("sum = %v, want 12", h.Sum())
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// le semantics: observations equal to a bound land in that bucket.
+	for _, want := range []string{
+		`blaeu_hist_seconds_bucket{le="1"} 2`,
+		`blaeu_hist_seconds_bucket{le="2"} 4`,
+		`blaeu_hist_seconds_bucket{le="5"} 4`,
+		`blaeu_hist_seconds_bucket{le="+Inf"} 5`,
+		`blaeu_hist_seconds_sum 12`,
+		`blaeu_hist_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusByteStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("blaeu_z_total", "last alphabetically", Labels{"b": "2", "a": "1"}).Add(3)
+	r.Counter("blaeu_z_total", "last alphabetically", Labels{"a": "9"}).Inc()
+	r.Gauge("blaeu_a_gauge", "first alphabetically", nil).Set(1)
+	r.Histogram("blaeu_m_seconds", "middle", []float64{0.1, 1}, Labels{"stage": "prep"}).Observe(0.05)
+
+	var one, two bytes.Buffer
+	if err := r.WritePrometheus(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&two); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Fatalf("two renders differ:\n--- one ---\n%s--- two ---\n%s", one.String(), two.String())
+	}
+	// Families must come out name-sorted.
+	out := one.String()
+	ia := strings.Index(out, "blaeu_a_gauge")
+	im := strings.Index(out, "blaeu_m_seconds")
+	iz := strings.Index(out, "blaeu_z_total")
+	if ia < 0 || im < 0 || iz < 0 || !(ia < im && im < iz) {
+		t.Fatalf("families not sorted by name:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("blaeu_esc_total", "", Labels{"path": "a\"b\\c\nd"}).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `blaeu_esc_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(buf.String(), want+"\n") {
+		t.Fatalf("render missing escaped sample %q:\n%s", want, buf.String())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("blaeu_kind_total", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("blaeu_kind_total", "", nil)
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("blaeu_snap_total", "help", Labels{"tenant": "t"}).Add(7)
+	r.Histogram("blaeu_snap_seconds", "", []float64{0.5}, nil).Observe(2)
+	snap := r.Snapshot()
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("snapshot not JSON-marshallable: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("snapshot not round-trippable: %v", err)
+	}
+	if len(back.Metrics) != 2 {
+		t.Fatalf("metrics = %d, want 2", len(back.Metrics))
+	}
+	// Sorted: blaeu_snap_seconds before blaeu_snap_total.
+	h := back.Metrics[0]
+	if h.Name != "blaeu_snap_seconds" || h.Type != "histogram" {
+		t.Fatalf("first family = %s/%s", h.Name, h.Type)
+	}
+	if got := *h.Series[0].Count; got != 1 {
+		t.Fatalf("histogram count = %d, want 1", got)
+	}
+	if got := h.Series[0].Buckets[0].Count; got != 0 {
+		t.Fatalf("le=0.5 bucket = %d, want 0 (observation was 2)", got)
+	}
+}
+
+func TestCollectorRefreshesGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("blaeu_live_gauge", "", nil)
+	n := 0
+	r.RegisterCollector(func() {
+		n++
+		g.Set(float64(n))
+	})
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "blaeu_live_gauge 1\n") {
+		t.Fatalf("collector did not run before render:\n%s", buf.String())
+	}
+	snap := r.Snapshot()
+	if *snap.Metrics[0].Series[0].Value != 2 {
+		t.Fatalf("collector did not run before snapshot")
+	}
+}
+
+func TestNilRegistryHandsOutWorkingHandles(t *testing.T) {
+	var r *Registry
+	c := r.Counter("anything_total", "", nil)
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("detached counter does not count")
+	}
+	h := r.Histogram("anything_seconds", "", nil, nil)
+	h.Observe(0.2)
+	if h.Count() != 1 {
+		t.Fatal("detached histogram does not observe")
+	}
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	r.RegisterCollector(func() {})
+}

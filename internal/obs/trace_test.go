@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// fakeClock advances by a fixed step on every read, giving each span a
+// deterministic nonzero duration.
+func fakeClock(step time.Duration) Clock {
+	t0 := time.Unix(1000, 0)
+	return ClockAt(func() time.Time {
+		t0 = t0.Add(step)
+		return t0
+	})
+}
+
+func TestTraceSpansAndCounters(t *testing.T) {
+	tr := NewTrace(fakeClock(10 * time.Millisecond))
+	sp := tr.Start("sample")
+	sp.End()
+	tr.Int("oracleDistEvals").Add(42)
+	tr.SetAttr("reuse", "cold")
+	tr.Finish()
+
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(snap.Spans))
+	}
+	s := snap.Spans[0]
+	if s.Name != "sample" {
+		t.Fatalf("span name = %q", s.Name)
+	}
+	// fake clock steps 10ms per read: NewTrace, Start, End, Finish.
+	if s.StartMs != 10 || s.DurationMs != 10 {
+		t.Fatalf("span offsets = start %v dur %v, want 10/10", s.StartMs, s.DurationMs)
+	}
+	if snap.TotalMs != 30 {
+		t.Fatalf("total = %v, want 30", snap.TotalMs)
+	}
+	if snap.Counters["oracleDistEvals"] != 42 {
+		t.Fatalf("counter = %d, want 42", snap.Counters["oracleDistEvals"])
+	}
+	if snap.Attrs["reuse"] != "cold" {
+		t.Fatalf("attr reuse = %q", snap.Attrs["reuse"])
+	}
+}
+
+func TestTraceFinishIdempotent(t *testing.T) {
+	tr := NewTrace(fakeClock(time.Millisecond))
+	tr.Finish()
+	total := tr.Snapshot().TotalMs
+	tr.Finish()
+	if again := tr.Snapshot().TotalMs; again != total {
+		t.Fatalf("second Finish moved total: %v -> %v", total, again)
+	}
+}
+
+func TestTraceIntReturnsSameCounter(t *testing.T) {
+	tr := NewTrace(nil)
+	a := tr.Int("pageReads")
+	b := tr.Int("pageReads")
+	if a != b {
+		t.Fatal("Int returned distinct atomics for one name")
+	}
+}
+
+func TestNilTraceIsInert(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start("x")
+	sp.End()
+	tr.Int("n").Add(1)
+	tr.SetAttr("k", "v")
+	tr.Finish()
+	snap := tr.Snapshot()
+	if snap.TotalMs != 0 || len(snap.Spans) != 0 {
+		t.Fatalf("nil trace produced data: %+v", snap)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("empty context yielded a trace")
+	}
+	tr := NewTrace(nil)
+	ctx := WithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("trace did not round-trip through context")
+	}
+}
+
+func TestTelemetryNilSafety(t *testing.T) {
+	var tel *Telemetry
+	if tel.Reg() != nil {
+		t.Fatal("nil telemetry returned a registry")
+	}
+	if tel.Log() == nil {
+		t.Fatal("nil telemetry returned nil logger")
+	}
+	if tel.Time() == nil {
+		t.Fatal("nil telemetry returned nil clock")
+	}
+	if tel.SlowBuildThreshold() != 0 {
+		t.Fatal("nil telemetry has a slow-build threshold")
+	}
+}

@@ -149,11 +149,11 @@ func addTier(a, b core.TierStats) core.TierStats {
 	}
 }
 
-// handleCacheStats serves the per-session and aggregate reuse-cache
-// counters: map-tier hits, artifact-tier exact hits and derivations,
-// misses, occupancy and evictions. Sessions closed between the listing
-// and the read are skipped.
-func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
+// collectCacheStats sums the reuse-cache counters of every open
+// session. Sessions closed between the listing and the read are
+// skipped. Shared by the /api/cache/stats handler and the /metrics
+// cache-gauge collector, so both report the same numbers.
+func (s *Server) collectCacheStats() cacheStatsJSON {
 	out := cacheStatsJSON{Sessions: make(map[string]core.ReuseStats)}
 	for _, id := range s.manager.List() {
 		sess, err := s.manager.Get(id)
@@ -169,7 +169,14 @@ func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
 		out.Totals.Map = addTier(out.Totals.Map, rs.Map)
 		out.Totals.Artifact = addTier(out.Totals.Artifact, rs.Artifact)
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out
+}
+
+// handleCacheStats serves the per-session and aggregate reuse-cache
+// counters: map-tier hits, artifact-tier exact hits and derivations,
+// misses, occupancy and evictions.
+func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.collectCacheStats())
 }
 
 // runAction is the synchronous navigation path: submit the action to the

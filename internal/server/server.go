@@ -63,9 +63,11 @@ func NewWith(datasets map[string]store.Relation, opts core.Options, m *Manager) 
 	s.mux.HandleFunc("POST /api/sessions/{id}/rollback", s.handleRollback)
 	s.mux.HandleFunc("GET /api/jobs/stats", s.handleJobStats)
 	s.mux.HandleFunc("GET /api/cache/stats", s.handleCacheStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /api/sessions/{id}/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /api/sessions/{id}/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /api/sessions/{id}/jobs/{jobID}", s.handleJobGet)
+	s.mux.HandleFunc("GET /api/sessions/{id}/jobs/{jobID}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("DELETE /api/sessions/{id}/jobs/{jobID}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /api/sessions/{id}/highlight", s.handleHighlight)
 	s.mux.HandleFunc("GET /api/sessions/{id}/scatter", s.handleScatter)
@@ -73,6 +75,7 @@ func NewWith(datasets map[string]store.Relation, opts core.Options, m *Manager) 
 	s.mux.HandleFunc("POST /api/sessions/{id}/filter", s.handleFilter)
 	s.mux.HandleFunc("GET /api/sessions/{id}/map.svg", s.handleMapSVG)
 	s.mux.HandleFunc("GET /api/sessions/{id}/export", s.handleExport)
+	s.registerCacheGauges()
 	return s
 }
 

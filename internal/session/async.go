@@ -3,10 +3,13 @@ package session
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/store/segment"
 )
 
 // The action kinds a job can carry — the map-building navigational
@@ -63,8 +66,9 @@ func (m *Manager) Submit(id string, act Action) (*jobs.Job, error) {
 	if !ok {
 		return nil, fmt.Errorf("session: no session %q", id)
 	}
-	//blaeu:nolint lockcheck enqueue-under-lock is the submit/close race fix; SubmitOpts refuses with ErrQueueFull instead of blocking
-	return s.Submit(m.pool, act)
+	// Enqueue-under-lock is the submit/close race fix; the underlying
+	// SubmitOpts refuses with ErrQueueFull instead of blocking.
+	return s.submitObs(m.pool, act, m.tel)
 }
 
 // Submit schedules the action as a job on the pool and returns its
@@ -87,6 +91,22 @@ func (m *Manager) Submit(id string, act Action) (*jobs.Job, error) {
 // was served from the map tier, rebuilt over an oracle reused or
 // derived from the artifact tier, or built entirely from scratch.
 func (s *Session) Submit(pool *jobs.Pool, act Action) (*jobs.Job, error) {
+	return s.submitObs(pool, act, nil)
+}
+
+// poolStatser is the store-layer capability the page-read accounting
+// asserts for (store.SegmentTable has it; in-memory tables do not).
+type poolStatser interface {
+	PoolStats() segment.PoolStats
+}
+
+// submitObs is Submit with a telemetry plane: the job function records
+// an obs.Trace (stage spans, distance-evaluation and page-read counters, the
+// reuse tier) retrievable through the job handle, feeds the build
+// histograms, and emits the slow-build log. A nil tel still traces —
+// with the wall clock, into no registry — so the trace endpoint works
+// for bare-pool library users too.
+func (s *Session) submitObs(pool *jobs.Pool, act Action, tel *obs.Telemetry) (*jobs.Job, error) {
 	switch act.Kind {
 	case ActionZoom, ActionSelect, ActionProject:
 	default:
@@ -94,42 +114,119 @@ func (s *Session) Submit(pool *jobs.Pool, act Action) (*jobs.Job, error) {
 			act.Kind, ActionZoom, ActionSelect, ActionProject)
 	}
 	return pool.SubmitOpts(s.ID, act.Kind, func(ctx context.Context, j *jobs.Job) (any, error) {
-		var build *core.MapBuild
-		if err := s.Do(func(e *core.Explorer) error {
-			var err error
-			switch act.Kind {
-			case ActionZoom:
-				build, err = e.PrepareZoom(act.Path...)
-			case ActionSelect:
-				build, err = e.PrepareSelect(act.Theme)
-			default:
-				build, err = e.PrepareProject(act.Theme)
+		tr := obs.NewTrace(tel.Time())
+		tr.SetAttr("action", act.Kind)
+		j.SetTrace(tr)
+		ctx = obs.WithTrace(ctx, tr)
+		// Page-read accounting is a before/after delta of the shared
+		// buffer pool's counters: approximate under concurrent builds
+		// (another session's scan lands in the same pool), but free —
+		// no per-read hook threads through the store layer.
+		var pages poolStatser
+		var before segment.PoolStats
+		s.mu.Lock()
+		pages, _ = s.Explorer.Table().(poolStatser)
+		s.mu.Unlock()
+		if pages != nil {
+			before = pages.PoolStats()
+		}
+
+		res, err := s.runBuild(ctx, j, act)
+
+		if pages != nil {
+			after := pages.PoolStats()
+			if d := (after.Hits + after.Misses) - (before.Hits + before.Misses); d > 0 {
+				tr.Int("pageReads").Add(int64(d))
+				tr.Int("pagePoolHits").Add(int64(after.Hits - before.Hits))
 			}
-			return err
-		}); err != nil {
-			return nil, err
 		}
-		if build.Cached() {
-			j.SetMeta("cacheHit", true)
-		}
-		m, err := build.Run(ctx, j.SetProgress)
-		if err != nil {
-			return nil, err
-		}
-		// After Run, not before: a derived build that hits a degenerate
-		// overlap demotes itself to cold mid-run.
-		j.SetMeta("reuse", string(build.Reuse()))
-		// A cancellation that lands after the last in-build checkpoint
-		// must still win: a cancelled job never applies its result.
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if err := s.Do(func(e *core.Explorer) error { return e.ApplyBuild(build, m) }); err != nil {
-			return nil, err
-		}
-		// The map itself is served by the state endpoints; the job keeps
-		// only a compact summary, so the pool's retained-job window never
-		// pins whole region trees in memory.
-		return map[string]any{"k": m.K, "sampleSize": m.SampleSize, "rows": build.Rows()}, nil
+		tr.Finish()
+		recordBuild(tel, j, tr, act.Kind, err)
+		return res, err
 	}, jobs.SubmitOptions{Deadline: act.deadline()})
+}
+
+// runBuild is the prepare → run → apply job body (see Submit's doc
+// comment for the protocol).
+func (s *Session) runBuild(ctx context.Context, j *jobs.Job, act Action) (any, error) {
+	var build *core.MapBuild
+	if err := s.Do(func(e *core.Explorer) error {
+		var err error
+		switch act.Kind {
+		case ActionZoom:
+			build, err = e.PrepareZoom(act.Path...)
+		case ActionSelect:
+			build, err = e.PrepareSelect(act.Theme)
+		default:
+			build, err = e.PrepareProject(act.Theme)
+		}
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if build.Cached() {
+		j.SetMeta("cacheHit", true)
+	}
+	m, err := build.Run(ctx, j.SetProgress)
+	if err != nil {
+		return nil, err
+	}
+	// After Run, not before: a derived build that hits a degenerate
+	// overlap demotes itself to cold mid-run.
+	j.SetMeta("reuse", string(build.Reuse()))
+	// A cancellation that lands after the last in-build checkpoint
+	// must still win: a cancelled job never applies its result.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := s.Do(func(e *core.Explorer) error { return e.ApplyBuild(build, m) }); err != nil {
+		return nil, err
+	}
+	// The map itself is served by the state endpoints; the job keeps
+	// only a compact summary, so the pool's retained-job window never
+	// pins whole region trees in memory.
+	return map[string]any{"k": m.K, "sampleSize": m.SampleSize, "rows": build.Rows()}, nil
+}
+
+// recordBuild feeds the finished trace into the metrics registry (stage
+// and end-to-end histograms) and the slow-build log.
+func recordBuild(tel *obs.Telemetry, j *jobs.Job, tr *obs.Trace, kind string, err error) {
+	snap := tr.Snapshot()
+	reuse := snap.Attrs["reuse"]
+	if reuse == "" {
+		reuse = "unknown" // the build failed before resolving its reuse tier
+	}
+	reg := tel.Reg()
+	for _, sp := range snap.Spans {
+		reg.Histogram("blaeu_build_stage_seconds",
+			"Build pipeline stage durations.", nil,
+			obs.Labels{"stage": sp.Name}).Observe(sp.DurationMs / 1e3)
+	}
+	reg.Histogram("blaeu_build_seconds",
+		"End-to-end build durations by action and reuse tier.", nil,
+		obs.Labels{"action": kind, "reuse": reuse}).Observe(snap.TotalMs / 1e3)
+
+	thr := tel.SlowBuildThreshold()
+	if thr <= 0 || snap.TotalMs < thr.Seconds()*1e3 {
+		return
+	}
+	attrs := []any{
+		"job", j.ID(), "session", j.Session(),
+		"action", kind, "reuse", reuse, "totalMs", snap.TotalMs,
+	}
+	for _, sp := range snap.Spans {
+		attrs = append(attrs, "stage."+sp.Name+"Ms", sp.DurationMs)
+	}
+	keys := make([]string, 0, len(snap.Counters))
+	for k := range snap.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		attrs = append(attrs, k, snap.Counters[k])
+	}
+	if err != nil {
+		attrs = append(attrs, "error", err.Error())
+	}
+	tel.Log().Warn("slow build", attrs...)
 }

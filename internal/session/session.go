@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -80,6 +81,8 @@ type Manager struct {
 	// holding mu — taking mu again there would deadlock.
 	tenantMu sync.Mutex
 	tenants  map[string]string // session ID -> tenant label
+
+	tel *obs.Telemetry
 }
 
 // NewManager returns an empty session registry whose scheduler runs one
@@ -99,11 +102,25 @@ func NewManagerWorkers(workers int) *Manager {
 // tenant; cfg.Tenant, if set, is consulted for the rest; sessions with
 // neither are their own tenant.
 func NewManagerConfig(cfg jobs.Config) *Manager {
+	// Every manager gets a working metrics plane: a fresh registry the
+	// server can mount at /metrics without extra wiring. Callers wanting
+	// logging, a fake clock or a slow-build threshold use NewManagerObs.
+	return NewManagerObs(cfg, &obs.Telemetry{Registry: obs.NewRegistry()})
+}
+
+// NewManagerObs is NewManagerConfig with an explicit telemetry plane:
+// the scheduler's counters land in tel's registry, every build job
+// records a per-stage trace timed by tel's clock, and builds slower
+// than tel.SlowBuild are logged through tel's logger with their stage
+// breakdown. tel may be nil (no metrics, wall clock, no logging).
+func NewManagerObs(cfg jobs.Config, tel *obs.Telemetry) *Manager {
 	m := &Manager{
 		sessions: make(map[string]*Session),
 		now:      time.Now,
 		tenants:  make(map[string]string),
+		tel:      tel,
 	}
+	cfg.Obs = tel.Reg()
 	fallback := cfg.Tenant
 	cfg.Tenant = func(session string) string {
 		m.tenantMu.Lock()
@@ -123,6 +140,10 @@ func NewManagerConfig(cfg jobs.Config) *Manager {
 
 // Pool returns the manager's job scheduler.
 func (m *Manager) Pool() *jobs.Pool { return m.pool }
+
+// Telemetry returns the manager's telemetry plane (may be nil; the
+// *obs.Telemetry accessors tolerate that).
+func (m *Manager) Telemetry() *obs.Telemetry { return m.tel }
 
 // Open creates a session exploring the given table. Unless the caller
 // supplied its own, the scheduler is installed as the explorer's CLARA

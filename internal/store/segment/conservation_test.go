@@ -1,0 +1,67 @@
+package segment
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestPoolCounterConservation hammers a registry-backed pool from many
+// goroutines (run under -race via `make race-store`) and checks the
+// counter conservation laws on both views of the numbers:
+//
+//   - every Get is either a hit or a miss: Hits + Misses == lookups;
+//   - a page can only be evicted after being inserted, and inserts only
+//     follow misses: Evictions <= Misses;
+//   - the registry mirrors (blaeu_pagepool_*_total) agree exactly with
+//     Pool.Stats, so /metrics and any stats endpoint built on Stats
+//     report the same truth.
+func TestPoolCounterConservation(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPoolObs(24*64, reg) // room for 24 of 96 pages: guaranteed eviction churn
+	const pages, workers, rounds = 96, 8, 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for pg := 0; pg < pages; pg++ {
+					h, err := p.Get(Key{1, pg}, fixedLoad(byte(pg), 64))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					h.Release()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	const lookups = pages * workers * rounds
+	s := p.Stats()
+	if s.Hits+s.Misses != lookups {
+		t.Errorf("hits %d + misses %d != %d lookups", s.Hits, s.Misses, lookups)
+	}
+	if s.Evictions > s.Misses {
+		t.Errorf("evictions %d > misses %d (a page must be inserted before it can be evicted)",
+			s.Evictions, s.Misses)
+	}
+	if s.Misses < pages {
+		t.Errorf("misses %d < %d pages (every page is cold at least once)", s.Misses, pages)
+	}
+
+	// The registry mirrors must agree exactly with Stats — get-or-create
+	// returns the pool's own handles.
+	for name, want := range map[string]uint64{
+		"blaeu_pagepool_hits_total":      s.Hits,
+		"blaeu_pagepool_misses_total":    s.Misses,
+		"blaeu_pagepool_evictions_total": s.Evictions,
+	} {
+		if got := reg.Counter(name, "", nil).Value(); got != want {
+			t.Errorf("registry %s = %v, Stats says %d", name, got, want)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // poolIDs hands out the per-segment identifiers that namespace page
@@ -60,12 +62,41 @@ type Pool struct {
 	hits       uint64
 	misses     uint64
 	evictions  uint64
+
+	// Registry mirrors of the counters above (detached handles when the
+	// pool was built without a registry). The per-pool fields stay
+	// authoritative for Stats; the handles feed /metrics.
+	mHits, mMisses, mEvictions *obs.Counter
 }
 
 // NewPool returns a pool holding at most budget bytes of unpinned
 // pages.
-func NewPool(budget int64) *Pool {
-	return &Pool{budget: budget, entries: make(map[Key]*entry)}
+func NewPool(budget int64) *Pool { return NewPoolObs(budget, nil) }
+
+// NewPoolObs is NewPool with the pool's counters and occupancy gauges
+// exported through the registry as the blaeu_pagepool_* family. The
+// series are process-global: a deployment registers one page pool (the
+// blaeud-wide budget), so a second pool on the same registry would
+// double-count.
+func NewPoolObs(budget int64, reg *obs.Registry) *Pool {
+	p := &Pool{budget: budget, entries: make(map[Key]*entry)}
+	p.mHits = reg.Counter("blaeu_pagepool_hits_total", "Page reads served from the buffer pool.", nil)
+	p.mMisses = reg.Counter("blaeu_pagepool_misses_total", "Page reads that loaded from storage.", nil)
+	p.mEvictions = reg.Counter("blaeu_pagepool_evictions_total", "Pages evicted to stay under budget.", nil)
+	if reg != nil {
+		gUsed := reg.Gauge("blaeu_pagepool_used_bytes", "Resident page bytes.", nil)
+		gBudget := reg.Gauge("blaeu_pagepool_budget_bytes", "Configured byte budget.", nil)
+		gEntries := reg.Gauge("blaeu_pagepool_entries", "Resident pages.", nil)
+		gPinned := reg.Gauge("blaeu_pagepool_pinned", "Resident pages currently pinned.", nil)
+		reg.RegisterCollector(func() {
+			s := p.Stats()
+			gUsed.Set(float64(s.Used))
+			gBudget.Set(float64(s.Budget))
+			gEntries.Set(float64(s.Entries))
+			gPinned.Set(float64(s.Pinned))
+		})
+	}
+	return p
 }
 
 // Handle is a pinned page. Bytes stays valid after Release — releasing
@@ -110,6 +141,7 @@ func (p *Pool) Get(key Key, load func() ([]byte, error)) (*Handle, error) {
 	p.mu.Lock()
 	if p.budget <= 0 {
 		p.misses++
+		p.mMisses.Inc()
 		p.mu.Unlock()
 		b, err := load()
 		if err != nil {
@@ -119,6 +151,7 @@ func (p *Pool) Get(key Key, load func() ([]byte, error)) (*Handle, error) {
 	}
 	if e, ok := p.entries[key]; ok {
 		p.hits++
+		p.mHits.Inc()
 		e.pins++
 		p.moveToFrontLocked(e)
 		p.mu.Unlock()
@@ -133,6 +166,7 @@ func (p *Pool) Get(key Key, load func() ([]byte, error)) (*Handle, error) {
 		return &Handle{p: p, e: e}, nil
 	}
 	p.misses++
+	p.mMisses.Inc()
 	e := &entry{key: key, pins: 1, done: make(chan struct{})}
 	p.entries[key] = e
 	p.pushFrontLocked(e)
@@ -199,6 +233,7 @@ func (p *Pool) evictLocked() {
 			p.removeLocked(e)
 			p.used -= e.size
 			p.evictions++
+			p.mEvictions.Inc()
 		}
 		e = prev
 	}

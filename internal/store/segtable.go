@@ -110,6 +110,16 @@ func (t *SegmentTable) Close() error { return t.seg.Close() }
 // Segment exposes the underlying segment (pool stats, page layout).
 func (t *SegmentTable) Segment() *segment.Segment { return t.seg }
 
+// PoolStats snapshots the buffer pool backing the segment (zero when
+// the segment is memory-mapped without a pool). The session tier
+// asserts for this method to charge page reads to build traces.
+func (t *SegmentTable) PoolStats() segment.PoolStats {
+	if p := t.seg.Pool(); p != nil {
+		return p.Stats()
+	}
+	return segment.PoolStats{}
+}
+
 // Name implements Relation.
 func (t *SegmentTable) Name() string { return t.name }
 
