@@ -1,7 +1,7 @@
 # Developer entry points; CI runs the same commands (see
 # .github/workflows/ci.yml).
 
-.PHONY: build test race bench bench-smoke bench-pam bench-store bench-obs benchstat vet race-jobs race-derived race-store lint fmt-check fuzz-smoke metrics-smoke vuln
+.PHONY: build test race bench bench-smoke bench-pam bench-store bench-obs benchstat vet race-jobs race-derived race-store lint lint-self fmt-check fuzz-smoke metrics-smoke vuln
 
 # The scheduler subsystem under the race detector (also a CI step),
 # plus extra iterations of the backpressure overload stress.
@@ -39,11 +39,19 @@ vet:
 
 # The repo's own analyzer suite (internal/analysis, driven by
 # cmd/blaeu-lint): determinism over the algorithmic core, lockcheck over
-# the concurrent tiers, ctxcheck over the request stack. A clean exit is
-# a CI gate; suppress individual findings only with a reasoned
-# `//blaeu:nolint <analyzer> <reason>` comment.
+# the concurrent tiers, ctxcheck over the request stack, plus the
+# interprocedural analyzers (blockcheck, hotpath, metricscheck) with
+# cross-package facts. A clean exit is a CI gate; suppress individual
+# findings only with a reasoned `//blaeu:nolint <analyzer> <reason>`
+# comment.
 lint:
 	go run ./cmd/blaeu-lint ./...
+
+# The linter held to its own rules: blaeu-lint must be clean on its own
+# source (suppression hygiene, hot-path discipline, metrics contract —
+# the scope-free analyzers all apply here). A lint CI job gate.
+lint-self:
+	go run ./cmd/blaeu-lint ./internal/analysis/... ./cmd/blaeu-lint
 
 # gofmt cleanliness: fails listing any file that needs formatting.
 fmt-check:

@@ -1,14 +1,22 @@
 // Command blaeu-lint runs the repo's custom analyzer suite
 // (internal/analysis): determinism over the algorithmic core, lockcheck
-// over the concurrent tiers, ctxcheck over the request stack.
+// over the concurrent tiers, ctxcheck over the request stack, plus the
+// interprocedural analyzers — blockcheck (may-block facts up the call
+// graph), hotpath (//blaeu:hot allocation/lock freedom) and
+// metricscheck (metrics contract and README catalog sync).
 //
 // Standalone:
 //
 //	go run ./cmd/blaeu-lint ./...
 //
-// loads the packages matching the patterns (default ./...), runs each
-// analyzer over the packages in its scope and prints the findings;
-// exit status 1 means findings.
+// loads the packages matching the patterns (default ./...) in
+// dependency order, runs the suite with cross-package facts threaded
+// bottom-up, then runs the whole-program Finish hooks (metricscheck's
+// README reconciliation); exit status 1 means findings. Flags:
+//
+//	-json          emit diagnostics as a JSON array on stdout
+//	               (suppressed findings included, marked)
+//	-conservative  treat dynamic calls through func values as may-block
 //
 // As a vet tool:
 //
@@ -17,10 +25,16 @@
 //
 // implements the cmd/vet unitchecker protocol: -V=full for the tool
 // identity and a single *.cfg argument per package, with export data
-// supplied by the go command. Findings exit 2, matching vet.
+// supplied by the go command. Facts ride the protocol's vetx files:
+// each unit writes the merged facts of itself and its dependencies to
+// VetxOutput, and reads its dependencies' files back via PackageVetx.
+// The Finish hooks do not run under vet — there is no whole-program
+// moment; `make lint` (standalone) is the source of truth for those.
+// Findings exit 2, matching vet.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -28,6 +42,7 @@ import (
 	"go/token"
 	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 
@@ -38,35 +53,56 @@ func main() {
 	args := os.Args[1:]
 	for _, a := range args {
 		if a == "-V=full" || a == "-V" {
-			// The go command hashes this line into its build cache key.
-			fmt.Println("blaeu-lint version v1")
+			// The go command hashes this line into its build cache key;
+			// v3 marks the interprocedural facts protocol (module
+			// packages only — std units carry no facts).
+			fmt.Println("blaeu-lint version v3")
 			return
 		}
 		if a == "-flags" {
-			// The go command asks which flags the tool supports; this
-			// suite has none.
+			// The go command asks which flags the tool supports; the
+			// driver flags below are standalone-only.
 			fmt.Println("[]")
 			return
 		}
 	}
-	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		os.Exit(unitcheck(args[0]))
-	}
-	if len(args) == 0 {
-		args = []string{"./..."}
-	}
-	os.Exit(standalone(args))
-}
-
-// activeFor returns the analyzers whose scope covers the package.
-func activeFor(importPath string) []*analysis.Analyzer {
-	var out []*analysis.Analyzer
-	for _, a := range analysis.All() {
-		if a.AppliesTo(importPath) {
-			out = append(out, a)
+	jsonOut := false
+	var rest []string
+	for _, a := range args {
+		switch a {
+		case "-json", "--json":
+			jsonOut = true
+		case "-conservative", "--conservative":
+			analysis.BlockcheckConservative = true
+		default:
+			rest = append(rest, a)
 		}
 	}
-	return out
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		os.Exit(unitcheck(rest[0]))
+	}
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+	os.Exit(standalone(rest, jsonOut))
+}
+
+// splitSuite partitions the suite for one package: run is every
+// analyzer that reports there or produces facts; silent names the
+// fact-only ones (reporting disabled outside their Scope).
+func splitSuite(importPath string) (run []*analysis.Analyzer, silent map[string]bool) {
+	silent = map[string]bool{}
+	for _, a := range analysis.All() {
+		applies := a.AppliesTo(importPath)
+		if !applies && !a.Facts {
+			continue
+		}
+		run = append(run, a)
+		if !applies {
+			silent[a.Name] = true
+		}
+	}
+	return run, silent
 }
 
 func printDiags(diags []analysis.Diagnostic) {
@@ -82,24 +118,54 @@ func printDiags(diags []analysis.Diagnostic) {
 	}
 }
 
-func standalone(patterns []string) int {
+// repoRoot resolves the module root (where README.md lives) for the
+// Finish hooks.
+func repoRoot() string {
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		cwd, _ := os.Getwd()
+		return cwd
+	}
+	return string(bytes.TrimSpace(out))
+}
+
+func standalone(patterns []string, jsonOut bool) int {
 	pkgs, err := analysis.Load(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	var all []analysis.Diagnostic
-	for _, pkg := range pkgs {
-		diags, err := analysis.RunPackage(pkg, activeFor(pkg.ImportPath))
-		if err != nil {
+	all, facts, err := analysis.RunPackages(pkgs, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	// The Finish hooks reconcile against the whole tree (README catalog
+	// vs every registration); running them on a partial package
+	// selection would report spurious documented-but-unregistered drift.
+	wholeTree := false
+	for _, p := range patterns {
+		if p == "./..." {
+			wholeTree = true
+		}
+	}
+	if wholeTree {
+		all = append(all, analysis.RunFinish(analysis.All(), &analysis.FinishContext{
+			RepoRoot: repoRoot(),
+			Facts:    facts,
+		})...)
+	}
+	failing := analysis.Unsuppressed(all)
+	if jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, all); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		all = append(all, diags...)
+	} else {
+		printDiags(failing)
 	}
-	printDiags(all)
-	if len(all) > 0 {
-		fmt.Fprintf(os.Stderr, "blaeu-lint: %d finding(s)\n", len(all))
+	if len(failing) > 0 {
+		fmt.Fprintf(os.Stderr, "blaeu-lint: %d finding(s)\n", len(failing))
 		return 1
 	}
 	return 0
@@ -114,9 +180,35 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
+	ModulePath                string
 	SucceedOnTypecheckFailure bool
+}
+
+// readVetxFacts merges the dependency fact tables the go command hands
+// us. Each vetx file holds map[importPath]PackageFacts — a package's
+// own facts plus its re-exported dependencies' — so merging the direct
+// dependencies' files reconstructs the transitive closure.
+func readVetxFacts(cfg *vetConfig) map[string]analysis.PackageFacts {
+	merged := map[string]analysis.PackageFacts{}
+	for _, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		var m map[string]analysis.PackageFacts
+		if json.Unmarshal(data, &m) != nil {
+			continue // an empty or pre-v2 vetx file carries no facts
+		}
+		for path, pf := range m {
+			if _, ok := merged[path]; !ok {
+				merged[path] = pf
+			}
+		}
+	}
+	return merged
 }
 
 func unitcheck(cfgPath string) int {
@@ -130,17 +222,42 @@ func unitcheck(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "blaeu-lint: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	// The protocol requires an output file (analyzer facts); this suite
-	// exports none.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+	imported := readVetxFacts(&cfg)
+	// The protocol requires the output file even when the unit
+	// contributes nothing; written below once the unit's facts exist.
+	writeVetx := func(own analysis.PackageFacts) int {
+		if cfg.VetxOutput == "" {
+			return 0
+		}
+		merged := make(map[string]analysis.PackageFacts, len(imported)+1)
+		for path, pf := range imported {
+			merged[path] = pf
+		}
+		if own != nil {
+			merged[cfg.ImportPath] = own
+		}
+		out, err := json.Marshal(merged)
+		if err == nil {
+			err = os.WriteFile(cfg.VetxOutput, out, 0o666)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-	}
-	active := activeFor(cfg.ImportPath)
-	if cfg.VetxOnly || len(active) == 0 {
 		return 0
+	}
+	// Standard-library units (no module path) are never analyzed:
+	// blockcheck models the std lib through its curated list, and
+	// computing facts from std source would surface absurd witness
+	// chains (fmt → reflect panic paths → runtime.gcStart → channel
+	// receive) that the standalone driver, which skips std packages
+	// entirely, would never report.
+	if cfg.ModulePath == "" {
+		return writeVetx(nil)
+	}
+	run, silent := splitSuite(cfg.ImportPath)
+	if len(run) == 0 {
+		return writeVetx(nil)
 	}
 	fset := token.NewFileSet()
 	var files []*ast.File
@@ -151,7 +268,7 @@ func unitcheck(cfgPath string) int {
 		f, err := parser.ParseFile(fset, gf, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return 0
+				return writeVetx(nil)
 			}
 			fmt.Fprintln(os.Stderr, err)
 			return 1
@@ -159,7 +276,7 @@ func unitcheck(cfgPath string) int {
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return 0
+		return writeVetx(nil)
 	}
 	lookup := func(path string) (io.ReadCloser, error) {
 		if m, ok := cfg.ImportMap[path]; ok {
@@ -174,18 +291,24 @@ func unitcheck(cfgPath string) int {
 	pkg, err := analysis.TypecheckFiles(fset, cfg.ImportPath, cfg.Dir, files, lookup)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return writeVetx(nil)
 		}
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	diags, err := analysis.RunPackage(pkg, active)
+	diags, facts, err := analysis.RunPackageFacts(pkg, run, silent, imported)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	if len(diags) > 0 {
-		printDiags(diags)
+	if code := writeVetx(facts); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	if failing := analysis.Unsuppressed(diags); len(failing) > 0 {
+		printDiags(failing)
 		return 2 // vet's diagnostics-found exit status
 	}
 	return 0

@@ -23,6 +23,13 @@ import (
 //     outer float — map iteration order is randomized per range, so both
 //     silently break pinned-seed identity (float addition is not
 //     associative; the low-order bits wander with visit order).
+//
+// The obs package gets a stricter rule: it owns the Clock seam, so any
+// *reference* to a wall-clock time function (not just a call — storing
+// time.Now in a field or passing it as a callback counts) is flagged
+// unless it appears in the declaration of a package-level Clock value.
+// Everything downstream is expected to read time through obs.Clock,
+// which tests can pin.
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc:  "forbid wall-clock, global math/rand and map-iteration-order dependence in the deterministic core",
@@ -30,6 +37,7 @@ var Determinism = &Analyzer{
 		"internal/cluster", "internal/core", "internal/prep",
 		"internal/graph", "internal/stats",
 		"internal/store", "internal/store/segment",
+		"internal/obs",
 	},
 	Run: runDeterminism,
 }
@@ -49,11 +57,17 @@ var randConstructors = map[string]bool{
 }
 
 func runDeterminism(pass *Pass) error {
+	inObs := pass.Pkg.Name() == "obs"
 	for _, f := range pass.Files {
+		if inObs {
+			checkObsWallRefs(pass, f)
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
-				checkWallClock(pass, n)
+				if !inObs { // obs call sites are covered by the reference rule
+					checkWallClock(pass, n)
+				}
 				checkGlobalRand(pass, n)
 			case *ast.BlockStmt:
 				checkMapRanges(pass, n)
@@ -72,6 +86,55 @@ func checkWallClock(pass *Pass, call *ast.CallExpr) {
 	if wallClockFuncs[fn.Name()] {
 		pass.Reportf(call.Pos(), "time.%s in the deterministic core: results must not depend on the wall clock", fn.Name())
 	}
+}
+
+// checkObsWallRefs flags every reference to a wall-clock time function
+// in the obs package — called, stored, or passed — except inside the
+// declaration of a package-level value of obs's own Clock type, which
+// is the one sanctioned binding site for the real clock.
+func checkObsWallRefs(pass *Pass, f *ast.File) {
+	var clockType types.Type
+	if obj := pass.Pkg.Scope().Lookup("Clock"); obj != nil {
+		clockType = obj.Type()
+	}
+	type span struct{ lo, hi token.Pos }
+	var exempt []span
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj != nil && clockType != nil && types.Identical(obj.Type(), clockType) {
+					exempt = append(exempt, span{vs.Pos(), vs.End()})
+					break
+				}
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
+			return true
+		}
+		for _, s := range exempt {
+			if sel.Pos() >= s.lo && sel.Pos() < s.hi {
+				return true
+			}
+		}
+		pass.Reportf(sel.Pos(), "reference to time.%s in obs outside a Clock declaration: route wall-clock reads through the Clock seam", fn.Name())
+		return true
+	})
 }
 
 func checkGlobalRand(pass *Pass, call *ast.CallExpr) {

@@ -1,0 +1,39 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonDiag is the stable wire shape of one diagnostic in `blaeu-lint
+// -json` output. The schema is pinned by TestWriteJSONSchema; editor
+// and CI integrations parse it, so field names and types must not
+// change without a version bump of the tool.
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// WriteJSON writes diags to w as a JSON array, one object per
+// diagnostic, suppressed findings included and marked. The output is
+// always a valid array — `[]` when there are no diagnostics.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:       d.Pos.Filename,
+			Line:       d.Pos.Line,
+			Col:        d.Pos.Column,
+			Analyzer:   d.Analyzer,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

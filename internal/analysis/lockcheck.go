@@ -57,7 +57,8 @@ func runLockcheck(pass *Pass) error {
 			}
 			for i, stmt := range block.List {
 				if recv, lockName, ok := lockStmt(pass, stmt); ok {
-					scanLock(pass, block, i, recv, lockName, loopBodies[block])
+					held := func(s ast.Stmt) { reportBlocking(pass, s, recv) }
+					scanLock(pass, block, i, recv, lockName, loopBodies[block], held, true)
 				}
 			}
 			return true
@@ -99,8 +100,13 @@ func syncLockCall(pass *Pass, call *ast.CallExpr, names ...string) (string, stri
 	return "", "", false
 }
 
-// scanLock follows the block's statement list from the Lock at index i.
-func scanLock(pass *Pass, block *ast.BlockStmt, i int, recv, lockName string, isLoopBody bool) {
+// scanLock follows the block's statement list from the Lock at index i,
+// invoking held for every statement that executes while the lock is
+// held. When reportLockBugs is set it additionally reports the
+// unlock-discipline findings (return-without-unlock, missing release) —
+// lockcheck's rule; blockcheck reuses the same region walk with its own
+// held callback and the discipline reports off.
+func scanLock(pass *Pass, block *ast.BlockStmt, i int, recv, lockName string, isLoopBody bool, held func(ast.Stmt), reportLockBugs bool) {
 	unlockName := "Unlock"
 	if lockName == "RLock" {
 		unlockName = "RUnlock"
@@ -118,7 +124,7 @@ func scanLock(pass *Pass, block *ast.BlockStmt, i int, recv, lockName string, is
 			deferSeen = true
 			continue
 		}
-		reportBlocking(pass, stmt, recv)
+		held(stmt)
 		if deferSeen {
 			continue // released at return; keep auditing blocking ops only
 		}
@@ -135,12 +141,14 @@ func scanLock(pass *Pass, block *ast.BlockStmt, i int, recv, lockName string, is
 		case hasUnlock && hasReturn:
 			continue // an early-exit path that releases; fall-through still holds
 		case hasReturn:
-			pass.Reportf(firstReturn(stmt).Pos(), "return while holding %s (%s at line %d) without %s",
-				recv, lockName, pass.Fset.Position(lockPos).Line, unlockName)
+			if reportLockBugs {
+				pass.Reportf(firstReturn(stmt).Pos(), "return while holding %s (%s at line %d) without %s",
+					recv, lockName, pass.Fset.Position(lockPos).Line, unlockName)
+			}
 			return
 		}
 	}
-	if !deferSeen {
+	if !deferSeen && reportLockBugs {
 		pass.Reportf(lockPos, "%s.%s() is not released on the fall-through path: pair it with defer %s.%s() or an explicit unlock",
 			recv, lockName, recv, unlockName)
 	}

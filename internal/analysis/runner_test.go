@@ -28,6 +28,16 @@ func runAnalyzerTest(t *testing.T, a *Analyzer, dir string) {
 	if err != nil {
 		t.Fatalf("loading %s: %v", dir, err)
 	}
+	diags, err := RunPackage(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	matchWants(t, collectWants(t, pkg), diags)
+}
+
+// collectWants extracts the package's `want` comment assertions.
+func collectWants(t *testing.T, pkg *Package) []*wantSpec {
+	t.Helper()
 	var wants []*wantSpec
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -47,11 +57,17 @@ func runAnalyzerTest(t *testing.T, a *Analyzer, dir string) {
 			}
 		}
 	}
-	diags, err := RunPackage(pkg, []*Analyzer{a})
-	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
-	}
+	return wants
+}
+
+// matchWants checks diags against wants both ways: every unsuppressed
+// diagnostic must match a want on its line, and every want must be hit.
+func matchWants(t *testing.T, wants []*wantSpec, diags []Diagnostic) {
+	t.Helper()
 	for _, d := range diags {
+		if d.Suppressed {
+			continue // retained for -json; not part of the want contract
+		}
 		matched := false
 		for _, w := range wants {
 			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {

@@ -98,3 +98,13 @@ func MissingReason(m map[string]int) []string {
 	}
 	return out
 }
+
+// SuppressedMultiline is a negative example for the suppression-position
+// fix: the finding lands on a continuation line of a wrapped statement,
+// and the nolint above the statement's first line must still cover it.
+func SuppressedMultiline(epoch float64) float64 {
+	//blaeu:nolint determinism fixture timestamps are truncated to the epoch day
+	v := epoch +
+		float64(time.Now().Unix())
+	return v
+}

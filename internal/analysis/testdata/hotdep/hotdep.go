@@ -1,0 +1,19 @@
+// Package hotdep is the dependency half of hotpath's cross-package
+// fact test: Kernel is verified hot (importers may call it from hot
+// code), Record is dirty (append) and its summary travels as a fact.
+package hotdep
+
+// Kernel is the hot distance kernel.
+//
+//blaeu:hot
+func Kernel(a, b float64) float64 {
+	d := a - b
+	return d * d
+}
+
+var journal []float64
+
+// Record appends to the package journal; dirty.
+func Record(v float64) {
+	journal = append(journal, v)
+}

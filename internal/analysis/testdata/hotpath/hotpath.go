@@ -1,0 +1,82 @@
+// Package hotpath is analyzer testdata: //blaeu:hot functions and
+// literals must stay free of allocation, locking and dirty calls.
+package hotpath
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// dot is a clean hot kernel: pure arithmetic plus whitelisted math.
+//
+//blaeu:hot
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return math.Sqrt(s)
+}
+
+//blaeu:hot
+func grow(xs []float64, v float64) []float64 {
+	return append(xs, v) // want `hot path: append may grow the backing array \(allocates\); preallocate outside the hot loop`
+}
+
+//blaeu:hot
+func scratch() []int {
+	return make([]int, 4) // want `hot path: make allocates`
+}
+
+//blaeu:hot
+func capture(limit int) func(int) bool {
+	return func(i int) bool { return i < limit } // want `hot path: closure creation allocates`
+}
+
+//blaeu:hot
+func tally(m map[int]int) int {
+	s := 0
+	for _, v := range m { // want `hot path: map iteration \(hashing cost, randomized order\)`
+		s += v
+	}
+	return s
+}
+
+// format is not hot; its dirtiness is a summary hot callers consult.
+func format(v float64) string {
+	return fmt.Sprintf("%v", v)
+}
+
+//blaeu:hot
+func describe(v float64) string {
+	return format(v) // want `hot path: calls non-hot format, which calls fmt\.Sprintf, which formats via fmt \(allocates\)`
+}
+
+type cache struct {
+	mu sync.Mutex
+	v  float64
+}
+
+//blaeu:hot
+func (c *cache) read() float64 {
+	c.mu.Lock() // want `hot path: calls non-hot sync\.\(\*Mutex\)\.Lock, which acquires a sync lock`
+	v := c.v
+	c.mu.Unlock()
+	return v
+}
+
+//blaeu:hot
+func spawn(ch chan int) {
+	go func() { ch <- 1 }() // want `hot path: go statement spawns a goroutine`
+}
+
+// compile returns a hot leaf matcher: the literal is annotated, the
+// factory itself is not (building the closure is setup cost).
+func compile(limit int) func(int) bool {
+	//blaeu:hot
+	return func(i int) bool { return i < limit }
+}
+
+//blaeu:hot // want `stray //blaeu:hot: no function declaration or literal starts on this or the next line`
+var sink int

@@ -1,0 +1,23 @@
+// Package hotuse is the consumer half of hotpath's cross-package fact
+// test: calling hotdep's verified-hot Kernel from hot code is fine;
+// calling its dirty Record is a finding, with the witness imported as
+// a fact from the dependency's analysis.
+package hotuse
+
+import "testdata/hotdep"
+
+//blaeu:hot
+func sum(xs, ys []float64) float64 {
+	s := 0.0
+	for i := range xs {
+		s += hotdep.Kernel(xs[i], ys[i])
+	}
+	return s
+}
+
+//blaeu:hot
+func tally(xs []float64) {
+	for _, x := range xs {
+		hotdep.Record(x) // want `hot path: calls non-hot hotdep\.Record, which append allocates`
+	}
+}

@@ -1,0 +1,36 @@
+// Package metricscheck is analyzer testdata for the metrics contract:
+// constant blaeu_-prefixed names, constant label keys, fmt-free label
+// values, and labels traceable to one composite literal.
+package metricscheck
+
+import (
+	"fmt"
+
+	"testdata/obs"
+)
+
+func register(reg *obs.Registry, tier, dyn string) {
+	reg.Counter("blaeu_good_total", "help", obs.Labels{"tier": tier})
+	reg.Histogram("blaeu_lat_seconds", "help", nil, nil)
+
+	// A local variable assigned exactly one literal traces through.
+	l := obs.Labels{"tier": tier}
+	reg.Gauge("blaeu_local_labels", "help", l)
+
+	reg.Counter("requests_total", "help", nil) // want `metric name "requests_total" must carry the blaeu_ prefix`
+	reg.Counter(dyn, "help", nil)              // want `metric name in a registry Counter call must be a constant string`
+
+	reg.Gauge("blaeu_bad_value", "help", obs.Labels{"tier": fmt.Sprintf("t%d", 1)}) // want `label value built with fmt\.Sprintf risks unbounded cardinality; use a bounded constant set`
+	reg.Gauge("blaeu_bad_key", "help", obs.Labels{dyn: "x"})                        // want `label key must be a constant string`
+
+	reg.Counter("blaeu_opaque", "help", labelsFrom(tier)) // want `labels must be a composite literal \(or a local variable assigned exactly one\): static label keys are the cardinality contract`
+
+	// Reassigned between literal and use: no single-literal trace.
+	m := obs.Labels{"tier": tier}
+	if tier == "" {
+		m = obs.Labels{}
+	}
+	reg.Counter("blaeu_mutable", "help", m) // want `labels must be a composite literal \(or a local variable assigned exactly one\): static label keys are the cardinality contract`
+}
+
+func labelsFrom(tier string) obs.Labels { return obs.Labels{"tier": tier} }

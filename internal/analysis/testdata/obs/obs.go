@@ -1,0 +1,17 @@
+// Package obs is a minimal stand-in for the real registry: metricscheck
+// matches registrations by method name and a receiver named Registry in
+// a package named obs, so testdata can exercise the whole rule set
+// without importing the module proper.
+package obs
+
+// Labels is a label key → value set.
+type Labels map[string]string
+
+// Registry mimics the real get-or-create metric registry surface.
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string, labels Labels) int { return 0 }
+
+func (r *Registry) Gauge(name, help string, labels Labels) int { return 0 }
+
+func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) int { return 0 }

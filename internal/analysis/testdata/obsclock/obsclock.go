@@ -1,0 +1,30 @@
+// Package obs (directory obsclock) is determinism testdata for the
+// obs-specific wall-clock rule: any reference to time.Now and friends —
+// not just a call — is flagged unless it sits in the declaration of a
+// package-level Clock value, the one sanctioned binding site.
+package obs
+
+import "time"
+
+// Clock is the injectable time source, mirroring the real obs.Clock.
+type Clock interface {
+	Now() time.Time
+}
+
+type clockFunc func() time.Time
+
+func (f clockFunc) Now() time.Time { return f() }
+
+// Wall is the sanctioned binding of the real clock: exempt.
+var Wall Clock = clockFunc(time.Now)
+
+// hook stores the function value without going through Clock.
+var hook = time.Now // want `reference to time\.Now in obs outside a Clock declaration: route wall-clock reads through the Clock seam`
+
+func stamp() time.Time {
+	return time.Now() // want `reference to time\.Now in obs outside a Clock declaration: route wall-clock reads through the Clock seam`
+}
+
+func age(t time.Time) time.Duration {
+	return time.Since(t) // want `reference to time\.Since in obs outside a Clock declaration: route wall-clock reads through the Clock seam`
+}

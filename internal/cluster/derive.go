@@ -62,6 +62,8 @@ type matrixView struct {
 func (v *matrixView) N() int { return len(v.idx) }
 
 // Dist implements Oracle.
+//
+//blaeu:hot
 func (v *matrixView) Dist(i, j int) float64 {
 	if i == j {
 		return 0
@@ -126,6 +128,8 @@ func (o *lazySubset) N() int { return len(o.idx) }
 
 // Dist implements Oracle. Like the parent's Dist it computes directly —
 // lock-free, so PAM's hot scan paths never contend on either memo.
+//
+//blaeu:hot
 func (o *lazySubset) Dist(i, j int) float64 {
 	if i == j {
 		return 0

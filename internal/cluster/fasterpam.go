@@ -262,6 +262,8 @@ func newSwapState(o Oracle, medoids []int) *swapState {
 
 // reassign recomputes object j's nearest and second-nearest medoid with a
 // full O(k) scan — the fallback when an incremental update is impossible.
+//
+//blaeu:hot
 func (s *swapState) reassign(j int) {
 	d1, d2 := math.Inf(1), math.Inf(1)
 	i1, i2 := -1, -1
@@ -302,10 +304,13 @@ func (s *swapState) refresh() {
 // n-sized buffer used to materialize c's distance row on RowOracles (nil
 // is fine otherwise). Returns the best total delta and the slot of the
 // medoid to remove.
+//
+//blaeu:hot
 func (s *swapState) evalCandidate(c int, scratch, row []float64) (float64, int) {
 	copy(scratch, s.loss)
 	acc := 0.0
 	if s.ro != nil {
+		//blaeu:nolint hotpath one row materialization amortized over the O(n) scan below
 		s.ro.RowInto(c, row)
 		for j, d := range row {
 			if d < s.dn[j] {

@@ -66,6 +66,8 @@ type VectorOracle struct {
 func (o *VectorOracle) N() int { return len(o.Vecs) }
 
 // Dist implements Oracle.
+//
+//blaeu:hot
 func (o *VectorOracle) Dist(i, j int) float64 {
 	if i == j {
 		return 0
@@ -84,6 +86,8 @@ type SubsetOracle struct {
 func (o *SubsetOracle) N() int { return len(o.Idx) }
 
 // Dist implements Oracle.
+//
+//blaeu:hot
 func (o *SubsetOracle) Dist(i, j int) float64 {
 	return o.Parent.Dist(o.Idx[i], o.Idx[j])
 }
@@ -131,6 +135,8 @@ func (o *LazyOracle) N() int { return len(o.vecs) }
 
 // Dist implements Oracle. It computes the metric directly — no cache
 // lookup, so the hot O(k)-scan paths of PAM never contend on the memo.
+//
+//blaeu:hot
 func (o *LazyOracle) Dist(i, j int) float64 {
 	if i == j {
 		return 0
@@ -398,6 +404,8 @@ func (o *KNNOracle) N() int { return len(o.vecs) }
 
 // Dist implements Oracle: exact inside the symmetrized neighborhood,
 // pivot-routed upper bound outside it.
+//
+//blaeu:hot
 func (o *KNNOracle) Dist(i, j int) float64 {
 	if i == j {
 		return 0
@@ -419,6 +427,8 @@ func (o *KNNOracle) Dist(i, j int) float64 {
 }
 
 // estimate upper-bounds d(i,j) by routing through the best pivot.
+//
+//blaeu:hot
 func (o *KNNOracle) estimate(i, j int) float64 {
 	best := math.Inf(1)
 	for _, row := range o.pivotD {

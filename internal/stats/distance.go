@@ -18,6 +18,8 @@ type Distance interface {
 type Euclidean struct{}
 
 // Dist implements Distance.
+//
+//blaeu:hot
 func (Euclidean) Dist(a, b []float64) float64 {
 	sum, seen := 0.0, 0
 	for i := range a {
@@ -43,6 +45,8 @@ func (Euclidean) Name() string { return "euclidean" }
 type Manhattan struct{}
 
 // Dist implements Distance.
+//
+//blaeu:hot
 func (Manhattan) Dist(a, b []float64) float64 {
 	sum, seen := 0.0, 0
 	for i := range a {
@@ -73,6 +77,8 @@ type Gower struct {
 }
 
 // Dist implements Distance.
+//
+//blaeu:hot
 func (g Gower) Dist(a, b []float64) float64 {
 	sum, seen := 0.0, 0
 	for i := range a {
@@ -104,6 +110,8 @@ func (g Gower) Name() string { return "gower" }
 type SquaredEuclidean struct{}
 
 // Dist implements Distance.
+//
+//blaeu:hot
 func (SquaredEuclidean) Dist(a, b []float64) float64 {
 	sum, seen := 0.0, 0
 	for i := range a {

@@ -427,9 +427,12 @@ func (b *segColBase) cursor() segCursor { return segCursor{b: b, pi: -1} }
 
 // seek positions the cursor on row i's page and returns the in-page
 // offset.
+//
+//blaeu:hot
 func (c *segCursor) seek(i int) int {
 	pi := i / c.b.rpp
 	if pi != c.pi {
+		//blaeu:nolint hotpath one page fetch amortized over the page's rows
 		c.data, c.nulls = c.b.fetch(pi)
 		c.pi = pi
 	}

@@ -35,6 +35,7 @@ func CompileMatcher(r Relation, p Predicate) func(i int) bool {
 		for i, q := range p {
 			subs[i] = CompileMatcher(r, q)
 		}
+		//blaeu:hot
 		return func(i int) bool {
 			for _, m := range subs {
 				if !m(i) {
@@ -48,6 +49,7 @@ func CompileMatcher(r Relation, p Predicate) func(i int) bool {
 		for i, q := range p {
 			subs[i] = CompileMatcher(r, q)
 		}
+		//blaeu:hot
 		return func(i int) bool {
 			for _, m := range subs {
 				if m(i) {
@@ -119,17 +121,17 @@ func compileNumCmp(r Relation, p NumCmp) func(i int) bool {
 	case *FloatColumn:
 		vals := c.vals
 		if c.NullCount() == 0 {
-			return func(i int) bool { return cmp(vals[i]) }
+			return func(i int) bool { return cmp(vals[i]) } //blaeu:hot
 		}
 		nulls := c.nulls
-		return func(i int) bool { return !nulls.Get(i) && cmp(vals[i]) }
+		return func(i int) bool { return !nulls.Get(i) && cmp(vals[i]) } //blaeu:hot
 	case *IntColumn:
 		vals := c.vals
 		if c.NullCount() == 0 {
-			return func(i int) bool { return cmp(float64(vals[i])) }
+			return func(i int) bool { return cmp(float64(vals[i])) } //blaeu:hot
 		}
 		nulls := c.nulls
-		return func(i int) bool { return !nulls.Get(i) && cmp(float64(vals[i])) }
+		return func(i int) bool { return !nulls.Get(i) && cmp(float64(vals[i])) } //blaeu:hot
 	case *BoolColumn:
 		vals, nulls := c.vals, c.nulls
 		return func(i int) bool {
