@@ -1,7 +1,7 @@
 # Developer entry points; CI runs the same commands (see
 # .github/workflows/ci.yml).
 
-.PHONY: build test race bench bench-smoke bench-pam bench-store bench-obs benchstat vet race-jobs race-derived race-store lint lint-self fmt-check fuzz-smoke metrics-smoke vuln
+.PHONY: build test race bench bench-smoke bench-pam bench-store bench-obs bench-scan benchstat vet race-jobs race-derived race-store race-scan lint lint-self fmt-check fuzz-smoke metrics-smoke vuln
 
 # The scheduler subsystem under the race detector (also a CI step),
 # plus extra iterations of the backpressure overload stress.
@@ -24,6 +24,12 @@ race-derived:
 race-store:
 	go test -race -count=3 -run 'Pool|Concurrent' ./internal/store/...
 	go test -race -count=2 -run 'Conservation' ./internal/core/...
+
+# The streaming scan layer under the race detector (also a CI step):
+# concurrent parallel page-range scans and projected gathers hammering
+# one shared segment, with early Scanner.Close cancellation in the mix.
+race-scan:
+	go test -race -count=2 -run 'TestScanConcurrentParallel' ./internal/store/
 
 build:
 	go build ./...
@@ -79,7 +85,8 @@ bench:
 	go test -bench=. -benchmem -run '^$$' .
 
 # One iteration of every benchmark — the CI bit-rot guard. Includes the
-# storage-engine scan/filter benchmarks.
+# storage-engine filter benchmarks and the streaming-scan benchmarks
+# (sequential vs parallel page ranges, projected vs full-width gather).
 bench-smoke:
 	go test -bench=. -benchtime=1x -run '^$$' .
 	go test -bench=. -benchtime=1x -run '^$$' ./internal/store
@@ -111,6 +118,18 @@ bench-store:
 # telemetry plane is <= 2% overhead. Other sections are preserved.
 bench-obs:
 	go run ./cmd/blaeu-bench -obs-json BENCH_pam.json
+	mkdir -p bench_history
+	cp BENCH_pam.json bench_history/$$(git rev-parse --short HEAD).json
+
+# Record the streaming-scan section of BENCH_pam.json: a 10M-row wide
+# CSV becomes a segment under the 256 MiB budget, the same filtered
+# streaming scan is timed sequentially and with parallel page-range
+# workers (results verified identical; read the speedup against numCpu
+# in the file header), and a cold map build is timed on the
+# materialized vs streamed gather paths with allocation deltas. Other
+# sections of the file are preserved.
+bench-scan:
+	go run ./cmd/blaeu-bench -scan-json BENCH_pam.json
 	mkdir -p bench_history
 	cp BENCH_pam.json bench_history/$$(git rev-parse --short HEAD).json
 

@@ -32,6 +32,8 @@ func main() {
 	storeRows := flag.Int("store-rows", 10_000_000, "row count for the storage bench")
 	obsJSON := flag.String("obs-json", "", "record the telemetry overhead bench (trace on vs off) into this JSON file and exit")
 	obsBuilds := flag.Int("obs-builds", 21, "measured builds per mode for the telemetry overhead bench")
+	scanJSON := flag.String("scan-json", "", "record the streaming scan bench (sequential vs parallel, streamed vs materialized build) into this JSON file and exit")
+	scanRows := flag.Int("scan-rows", 10_000_000, "row count for the streaming scan bench")
 	diff := flag.Bool("diff", false, "compare two recorded snapshots (args: old.json new.json) and exit")
 	flag.Parse()
 
@@ -66,6 +68,14 @@ func main() {
 	if *obsJSON != "" {
 		if err := writeObsBench(*obsJSON, 2000, *obsBuilds, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "obs-json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *scanJSON != "" {
+		if err := writeScanBench(*scanJSON, *scanRows, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "scan-json: %v\n", err)
 			os.Exit(1)
 		}
 		return

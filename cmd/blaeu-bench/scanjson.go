@@ -1,0 +1,273 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// scanBenchEntry is one streaming batch-scan measurement: a wide CSV is
+// converted to a segment and opened under a fixed page budget, then
+// measured two ways. First, the same filtered streaming scan runs
+// sequentially and with parallel page-range workers — results must be
+// byte-identical, and ParSpeedup is the headline number of the
+// streaming-scan PR (read it against NumCPU in the file header: on a
+// single-core runner the parallel path can only tie, the >=2x bar needs
+// the multi-core CI box). Second, a cold Explorer build runs once on the
+// materialized path (full-width Gather of the sample) and once on the
+// streamed path (projected batch gathers), recording wall time and
+// allocated bytes for each.
+type scanBenchEntry struct {
+	Rows        int   `json:"rows"`
+	Cols        int   `json:"cols"`
+	SegBytes    int64 `json:"segBytes"`
+	BudgetBytes int64 `json:"budgetBytes"`
+	Workers     int   `json:"workers"`
+	// SeqFilterMS and ParFilterMS time the identical filtered
+	// Scan(...).Collect() against a warmed pool, sequential vs
+	// Workers-way parallel page ranges.
+	SeqFilterMS float64 `json:"seqFilterMs"`
+	ParFilterMS float64 `json:"parFilterMs"`
+	ParSpeedup  float64 `json:"parSpeedup"`
+	MatchedRows int     `json:"matchedRows"`
+	// Cold map build over the segment, materialized vs streamed front
+	// half: the time gap is projection pushdown never faulting in the
+	// five filler columns' pages.
+	SampleSize          int     `json:"sampleSize"`
+	MaterializedBuildMS float64 `json:"materializedBuildMs"`
+	StreamedBuildMS     float64 `json:"streamedBuildMs"`
+	MaterializedAllocMB float64 `json:"materializedAllocMb"`
+	StreamedAllocMB     float64 `json:"streamedAllocMb"`
+	// The gather operator in isolation over the same pinned sample
+	// rows — full-width Gather vs projection-pushed ScanGather of the
+	// three live columns — since within the whole build the clustering
+	// stages allocate identically on both paths and drown this delta.
+	MaterializedGatherMS      float64 `json:"materializedGatherMs"`
+	StreamedGatherMS          float64 `json:"streamedGatherMs"`
+	MaterializedGatherAllocMB float64 `json:"materializedGatherAllocMb"`
+	StreamedGatherAllocMB     float64 `json:"streamedGatherAllocMb"`
+}
+
+// writeScanCSV streams a rows-row CSV to path: the x/y/label trio the
+// filter predicate reads, plus five filler numeric columns that give
+// projection pushdown real width to discard.
+func writeScanCSV(path string, rows int, seed int64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	if _, err := w.WriteString("x,y,label,d0,d1,d2,d3,d4\n"); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	labels := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	buf := make([]byte, 0, 128)
+	for i := 0; i < rows; i++ {
+		buf = buf[:0]
+		buf = strconv.AppendFloat(buf, rng.Float64()*100, 'f', 4, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(rng.Intn(1000)), 10)
+		buf = append(buf, ',')
+		buf = append(buf, labels[rng.Intn(len(labels))]...)
+		for d := 0; d < 5; d++ {
+			buf = append(buf, ',')
+			buf = strconv.AppendFloat(buf, rng.NormFloat64()*float64(d+1), 'f', 4, 64)
+		}
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// scanBench runs the streaming-scan measurement at the given row count
+// under a 256 MiB page budget (the acceptance configuration).
+func scanBench(rows int, seed int64) (*scanBenchEntry, error) {
+	dir, err := os.MkdirTemp("", "blaeu-scan-bench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	csvPath := filepath.Join(dir, "bench.csv")
+	segPath := filepath.Join(dir, "bench.seg")
+	if err := writeScanCSV(csvPath, rows, seed); err != nil {
+		return nil, err
+	}
+
+	e := &scanBenchEntry{Rows: rows, Cols: 8, BudgetBytes: 256 << 20, SampleSize: 2000}
+	if _, err := store.BuildSegment(csvPath, segPath, nil); err != nil {
+		return nil, err
+	}
+	fi, err := os.Stat(segPath)
+	if err != nil {
+		return nil, err
+	}
+	e.SegBytes = fi.Size()
+
+	st, err := store.OpenSegmentTable(segPath, e.BudgetBytes)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+
+	w := runtime.GOMAXPROCS(0)
+	if w < 4 {
+		w = 4
+	}
+	e.Workers = w
+
+	pred := store.And{
+		store.NumCmp{Col: "x", Op: store.Gt, Val: 50},
+		store.StrEq{Col: "label", Val: "c"},
+	}
+
+	// One untimed pass first so sequential and parallel both run
+	// against the same steady-state pool (past the budget the segment
+	// still streams pages through eviction either way).
+	warm := store.Scan(st, store.ScanSpec{Pred: pred, Workers: 1}).Collect()
+
+	start := time.Now()
+	seq := store.Scan(st, store.ScanSpec{Pred: pred, Workers: 1}).Collect()
+	e.SeqFilterMS = msSince(start)
+
+	start = time.Now()
+	par := store.Scan(st, store.ScanSpec{Pred: pred, Workers: w}).Collect()
+	e.ParFilterMS = msSince(start)
+
+	if len(seq) != len(warm) || !reflect.DeepEqual(seq, par) {
+		return nil, fmt.Errorf("scan bench: parallel scan diverged from sequential (%d vs %d rows)", len(par), len(seq))
+	}
+	e.MatchedRows = len(seq)
+	if e.ParFilterMS > 0 {
+		e.ParSpeedup = e.SeqFilterMS / e.ParFilterMS
+	}
+
+	// The gather operator in isolation: the same 2000 pinned sample
+	// rows materialized full-width vs streamed with projection onto
+	// the three live columns.
+	rng := rand.New(rand.NewSource(seed))
+	sampleRows := rng.Perm(rows)[:e.SampleSize]
+	sort.Ints(sampleRows)
+	measure := func(f func() error) (float64, float64, error) {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, 0, err
+		}
+		ms := msSince(start)
+		runtime.ReadMemStats(&after)
+		return ms, float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20), nil
+	}
+	e.MaterializedGatherMS, e.MaterializedGatherAllocMB, err = measure(func() error {
+		if got := st.Gather(sampleRows).NumRows(); got != e.SampleSize {
+			return fmt.Errorf("scan bench: full-width gather returned %d rows", got)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.StreamedGatherMS, e.StreamedGatherAllocMB, err = measure(func() error {
+		tab, err := store.ScanGather(st, sampleRows, []string{"x", "y", "label"}, w)
+		if err != nil {
+			return err
+		}
+		if tab.NumRows() != e.SampleSize {
+			return fmt.Errorf("scan bench: projected gather returned %d rows", tab.NumRows())
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Cold map builds: the explorer (and its theme-detection pass, the
+	// same full-table scan either way) is constructed untimed with both
+	// reuse tiers off; the measured stage is the cold map build whose
+	// front half the streaming path changes. TotalAlloc is monotonic,
+	// so the delta is allocation volume, independent of when GC runs.
+	build := func(opts core.Options) (float64, float64, error) {
+		opts.Seed = seed
+		opts.SampleSize = e.SampleSize
+		opts.MapCacheSize = -1
+		opts.ArtifactCacheSize = -1
+		ex, err := core.NewExplorer(st, opts)
+		if err != nil {
+			return 0, 0, err
+		}
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		m, err := ex.SelectTheme(0)
+		if err != nil {
+			return 0, 0, err
+		}
+		ms := msSince(start)
+		runtime.ReadMemStats(&after)
+		if m == nil || len(m.Root.Children) == 0 {
+			return 0, 0, fmt.Errorf("scan bench: cold build produced no map")
+		}
+		return ms, float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20), nil
+	}
+	if e.MaterializedBuildMS, e.MaterializedAllocMB, err = build(core.Options{MaterializedGather: true, ScanWorkers: 1}); err != nil {
+		return nil, err
+	}
+	if e.StreamedBuildMS, e.StreamedAllocMB, err = build(core.Options{ScanWorkers: w}); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// writeScanBench records the streaming-scan section into the bench file
+// at path, preserving any other sections already recorded there so the
+// scan run composes with the other bench-* targets.
+func writeScanBench(path string, rows int, seed int64) error {
+	var out pamBenchFile
+	if prev, err := os.ReadFile(path); err == nil {
+		// Best effort: a malformed existing file is replaced outright.
+		_ = json.Unmarshal(prev, &out)
+	}
+	e, err := scanBench(rows, seed)
+	if err != nil {
+		return err
+	}
+	out.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	out.GoVersion = runtime.Version()
+	out.NumCPU = runtime.NumCPU()
+	out.Commit = gitShortHash()
+	out.Seed = seed
+	out.Scan = []scanBenchEntry{*e}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	fmt.Printf("scan bench (%d rows, %d workers, %d cpus): filter seq %.0fms vs parallel %.0fms (%.2fx); cold build materialized %.0fms vs streamed %.0fms; sample gather %.0fms/%.2fMB vs %.0fms/%.2fMB, wrote %s\n",
+		e.Rows, e.Workers, runtime.NumCPU(), e.SeqFilterMS, e.ParFilterMS, e.ParSpeedup,
+		e.MaterializedBuildMS, e.StreamedBuildMS,
+		e.MaterializedGatherMS, e.MaterializedGatherAllocMB, e.StreamedGatherMS, e.StreamedGatherAllocMB, path)
+	return nil
+}

@@ -96,10 +96,12 @@ func (e *Explorer) buildMapStaged(ctx context.Context, rng *rand.Rand, rows []in
 
 	var sample *store.Table
 	if art == nil {
-		// Stage 0: multi-scale sampling.
+		// Stage 0: multi-scale sampling. The sample indices are drawn
+		// first (index math only), then materialized through the
+		// streaming scan projected onto the theme's columns.
 		sp := tr.Start("sample")
 		sampleRows := e.sampleStage(rng, rows)
-		sample = e.table.Gather(sampleRows)
+		sample = e.gatherSample(sampleRows, theme)
 		sp.End()
 		report(0.05)
 
@@ -130,7 +132,7 @@ func (e *Explorer) buildMapStaged(ctx context.Context, rng *rand.Rand, rows []in
 		// stage still needs the raw tuples. The gather is this path's
 		// whole sampling work, so it books under the sample span.
 		sp := tr.Start("sample")
-		sample = e.table.Gather(art.sampleRows)
+		sample = e.gatherSample(art.sampleRows, theme)
 		sp.End()
 	}
 	report(0.15)
@@ -188,6 +190,27 @@ func (e *Explorer) sampleStage(rng *rand.Rand, rows []int) []int {
 		sampleRows[i] = rows[p]
 	}
 	return sampleRows
+}
+
+// gatherSample materializes the build sample for one theme. The
+// streaming path scans only the theme's columns (projection pushdown —
+// prep, tree fitting and accuracy never read outside them, since the
+// tree's features are pipe.UsedColumns() ⊆ theme.Columns), in page
+// batches with zone-map row-set skips, so a sparse sample over a
+// segment touches only the pages it actually draws from. The
+// materialized fallback gathers every column; both paths produce
+// byte-identical maps.
+func (e *Explorer) gatherSample(rows []int, theme Theme) *store.Table {
+	if e.opts.MaterializedGather {
+		return e.table.Gather(rows)
+	}
+	t, err := store.ScanGather(e.table, rows, theme.Columns, e.opts.ScanWorkers)
+	if err != nil {
+		// A theme column missing from the table would be an engine bug;
+		// degrade to the full gather rather than failing the build.
+		return e.table.Gather(rows)
+	}
+	return t
 }
 
 // prepStage fits the preprocessing pipeline on the gathered sample and

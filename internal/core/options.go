@@ -87,6 +87,18 @@ type Options struct {
 	// external worker pool instead of Parallelism plain goroutines; the
 	// session tier installs its job scheduler (internal/jobs.Pool) here.
 	Runner cluster.TaskRunner
+	// ScanWorkers bounds the page-range workers of the streaming scans
+	// the engine issues (sample gathers, predicate filters — see
+	// store.Scan). Default runtime.GOMAXPROCS(0); 1 or negative forces
+	// sequential scans. Results are byte-identical at every setting —
+	// the scan's merge is order-preserving — so, like Parallelism, it
+	// is excluded from the cache fingerprints.
+	ScanWorkers int
+	// MaterializedGather disables the streaming scan path of the build
+	// front half: the sample is gathered with a full-width Gather
+	// instead of a projected batch scan. Kept for differential tests
+	// and benchmarks; maps are byte-identical either way.
+	MaterializedGather bool
 	// MapCacheSize bounds the zoom-aware map cache: finished maps are
 	// keyed by (row-set fingerprint, theme, clustering config) and
 	// reused when navigation revisits a selection, e.g. rollback
@@ -129,6 +141,7 @@ func DefaultOptions() Options {
 		Prep:                  prep.NewOptions(),
 		PAMThreshold:          1024,
 		Parallelism:           runtime.NumCPU(),
+		ScanWorkers:           runtime.GOMAXPROCS(0),
 		OracleThreshold:       cluster.DefaultMaterializeThreshold,
 		MapCacheSize:          DefaultMapCacheSize,
 		ArtifactCacheSize:     DefaultArtifactCacheSize,
@@ -172,6 +185,9 @@ func (o *Options) defaults() {
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = d.Parallelism
+	}
+	if o.ScanWorkers == 0 {
+		o.ScanWorkers = d.ScanWorkers
 	}
 	if o.MapCacheSize == 0 {
 		o.MapCacheSize = d.MapCacheSize

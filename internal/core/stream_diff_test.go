@@ -1,0 +1,94 @@
+package core
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// openLaborBoth materializes the same labor CSV as an in-memory table
+// and a small-page segment (the two backings of every differential).
+func openLaborBoth(t *testing.T, n int, seed int64) (*store.Table, *store.SegmentTable) {
+	t.Helper()
+	csvPath := writeLaborCSV(t, n, seed)
+	mem, err := store.ReadCSVFile(csvPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segPath := filepath.Join(filepath.Dir(csvPath), "labor.seg")
+	if _, err := store.BuildSegment(csvPath, segPath, &store.SegmentBuildOptions{RowsPerPage: 128}); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := store.OpenSegmentTable(segPath, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { seg.Close() })
+	seg.SetName(mem.Name())
+	return mem, seg
+}
+
+// driveExplorer runs the standard interaction script — select every
+// theme, zoom, filter — and returns every map it produced, in order.
+func driveExplorer(t *testing.T, e *Explorer) []*Map {
+	t.Helper()
+	out := []*Map{e.CurrentMap()}
+	for themeID := range e.Themes() {
+		m, err := e.SelectTheme(themeID)
+		if err != nil {
+			continue
+		}
+		out = append(out, m)
+	}
+	root := e.CurrentMap().Root
+	for ci, child := range root.Children {
+		if len(child.Rows) < 50 {
+			continue
+		}
+		if m, err := e.Zoom(ci); err == nil {
+			out = append(out, m)
+		}
+		break
+	}
+	if m, err := e.Filter(store.NumCmp{Col: "AverageIncome", Op: store.Gt, Val: 20}); err == nil {
+		out = append(out, m)
+	}
+	return out
+}
+
+// TestStreamedFrontHalfMatchesMaterialized is the PR's differential
+// bar: with pinned seeds, the streamed build front half (projected
+// batch-scan sample gathers, scan-path filters, at several worker
+// counts) must produce byte-identical maps to the materialized path
+// (full-width Gather, row-loop FilterRows) on both backings.
+func TestStreamedFrontHalfMatchesMaterialized(t *testing.T) {
+	mem, seg := openLaborBoth(t, 600, 17)
+	for _, backing := range []store.Relation{mem, seg} {
+		baseline, err := NewExplorer(backing, Options{Seed: 17, MaterializedGather: true, ScanWorkers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMaps := driveExplorer(t, baseline)
+		wantState := baseline.State()
+		for _, workers := range []int{1, 3} {
+			streamed, err := NewExplorer(backing, Options{Seed: 17, ScanWorkers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotMaps := driveExplorer(t, streamed)
+			if len(gotMaps) != len(wantMaps) {
+				t.Fatalf("%T workers=%d: %d maps vs %d", backing, workers, len(gotMaps), len(wantMaps))
+			}
+			for i := range wantMaps {
+				if !mapsEqual(gotMaps[i], wantMaps[i]) {
+					t.Fatalf("%T workers=%d: map %d diverges between streamed and materialized paths", backing, workers, i)
+				}
+			}
+			if !reflect.DeepEqual(streamed.State().Rows, wantState.Rows) {
+				t.Fatalf("%T workers=%d: final selections diverge", backing, workers)
+			}
+		}
+	}
+}

@@ -76,7 +76,21 @@ func NewWith(datasets map[string]store.Relation, opts core.Options, m *Manager) 
 	s.mux.HandleFunc("GET /api/sessions/{id}/map.svg", s.handleMapSVG)
 	s.mux.HandleFunc("GET /api/sessions/{id}/export", s.handleExport)
 	s.registerCacheGauges()
+	s.attachScanMetrics()
 	return s
+}
+
+// attachScanMetrics registers the streaming-scan counters against the
+// manager's registry and attaches them to every dataset, so scans run
+// by explorers (sample gathers, filters) surface on /metrics.
+func (s *Server) attachScanMetrics() {
+	sm := store.NewScanMetrics(s.manager.Telemetry().Reg())
+	type setter interface{ SetScanMetrics(*store.ScanMetrics) }
+	for _, r := range s.datasets {
+		if t, ok := r.(setter); ok {
+			t.SetScanMetrics(sm)
+		}
+	}
 }
 
 // ServeHTTP implements http.Handler.

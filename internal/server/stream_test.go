@@ -1,0 +1,92 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/store"
+)
+
+// streamTestServer serves the planted-blobs dataset from both backings
+// under the given engine options — built twice by the differential
+// below, once streamed and once materialized.
+func streamTestServer(t *testing.T, opts core.Options) *httptest.Server {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	ds := datagen.PlantedBlobs(datagen.BlobSpec{N: 400, K: 3, Dims: 4, Sep: 8}, rng)
+
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "blobs.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteCSV(f, ds.Table); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segPath := filepath.Join(dir, "blobs.seg")
+	if _, err := store.BuildSegment(csvPath, segPath, &store.SegmentBuildOptions{RowsPerPage: 64}); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := store.OpenSegmentTable(segPath, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { seg.Close() })
+	mem, err := store.ReadCSVFile(csvPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem.SetName("mem")
+	seg.SetName("seg")
+
+	ts := httptest.NewServer(New(map[string]store.Relation{"mem": mem, "seg": seg}, opts))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestStreamedServerMatchesMaterialized is the HTTP half of the
+// streamed-front-half differential: two servers over the same bytes —
+// one on the streaming scan path with parallel workers, one on the
+// materialized sequential path — must serve identical themes, maps,
+// zooms and filtered selections, on both backings.
+func TestStreamedServerMatchesMaterialized(t *testing.T) {
+	streamed := streamTestServer(t, core.Options{Seed: 1, SampleSize: 400, ScanWorkers: 3})
+	materialized := streamTestServer(t, core.Options{Seed: 1, SampleSize: 400, MaterializedGather: true, ScanWorkers: 1})
+
+	navigate := func(ts *httptest.Server, dataset string) string {
+		id, st := openSession(t, ts, dataset)
+		base := ts.URL + "/api/sessions/" + id
+		sel := doJSON(t, "POST", base+"/select", map[string]int{"theme": 0}, http.StatusOK)
+		zoom := doJSON(t, "POST", base+"/zoom", map[string][]int{"path": {0}}, http.StatusOK)
+		filt := doJSON(t, "POST", base+"/filter", map[string]string{"expr": "v0 >= 0"}, http.StatusOK)
+		return fmt.Sprintf("%v|%v|%v|%v|%v", st["themes"], sel["map"], zoom["map"], zoom["rows"], filt["rows"])
+	}
+	for _, dataset := range []string{"mem", "seg"} {
+		got := navigate(streamed, dataset)
+		want := navigate(materialized, dataset)
+		if got != want {
+			d := 0
+			for d < len(got) && d < len(want) && got[d] == want[d] {
+				d++
+			}
+			lo := max(0, d-60)
+			t.Fatalf("dataset %s: streamed and materialized servers diverge near %q vs %q",
+				dataset, got[lo:min(len(got), d+60)], want[lo:min(len(want), d+60)])
+		}
+		if !strings.Contains(got, "|") {
+			t.Fatalf("dataset %s: empty navigation transcript", dataset)
+		}
+	}
+}

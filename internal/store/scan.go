@@ -1,0 +1,653 @@
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Streaming batch scans: the lazy operator pipeline over both backings.
+// A Scanner yields column-vector batches of about one page of rows at a
+// time, so operators compose without materializing intermediates — the
+// Volcano shape, but batch-at-a-time rather than row-at-a-time.
+//
+// Three pushdowns happen at the scan source instead of above it:
+//
+//   - projection: only the columns named in ScanSpec.Cols are decoded;
+//     an empty Cols yields index-only batches (Filter-shaped calls);
+//   - predicate: segment-backed scans apply the zone-map page skips of
+//     SegmentTable.Filter, and an ascending ScanSpec.Rows set narrows
+//     the scan further — pages holding no candidate rows are never
+//     fetched, so a filtered sample keeps its zone-map advantage;
+//   - limit: the scan stops as soon as ScanSpec.Limit matching rows
+//     have been delivered, so Head-shaped calls never reach EOF.
+//
+// With ScanSpec.Workers > 1 the page space splits into contiguous
+// ranges, one worker each; batches are reassembled by draining the
+// ranges in page order, which makes the merge order-preserving and the
+// output byte-identical to a sequential scan at any worker count.
+
+// defaultScanPageRows is the batch granularity for relations without a
+// native page size (in-memory tables, generic Relations).
+const defaultScanPageRows = 8192
+
+// ScanSpec configures a streaming batch scan over a Relation.
+type ScanSpec struct {
+	// Cols are the projected column names; empty means index-only
+	// batches (Batch.Cols stays nil).
+	Cols []string
+	// Pred filters rows (nil = every row). On segment backings its
+	// top-level conjuncts also drive zone-map page skips.
+	Pred Predicate
+	// Rows restricts the scan to an ascending set of row indices
+	// (nil = the whole relation). Pages containing none of them are
+	// skipped without being read.
+	Rows []int
+	// Limit stops the scan after this many matching rows (0 = all).
+	Limit int
+	// Workers is the parallel page-range worker count; values below 2
+	// scan sequentially on the caller's goroutine.
+	Workers int
+}
+
+// Batch is one unit of scan output: the matching row indices of one
+// source page, plus the projected column vectors when ScanSpec.Cols
+// was set (Cols[i] holds the values of spec.Cols[i], row-aligned with
+// Rows). Batches arrive in ascending row order and never overlap.
+type Batch struct {
+	Rows []int
+	Cols []Column
+}
+
+// ScanMetrics holds the scan-path counters, registered once against a
+// registry and attached to relations via SetScanMetrics. A nil
+// *ScanMetrics is valid everywhere and counts nothing, mirroring the
+// nil-safety of obs.Registry.
+type ScanMetrics struct {
+	pagesScanned *obs.Counter
+	pagesSkipped *obs.Counter
+	batches      *obs.Counter
+}
+
+// NewScanMetrics registers the scan counters (a nil registry hands out
+// detached counters, so the result is always usable).
+func NewScanMetrics(reg *obs.Registry) *ScanMetrics {
+	return &ScanMetrics{
+		pagesScanned: reg.Counter("blaeu_scan_pages_total",
+			"Pages visited by streaming scans, by outcome.",
+			obs.Labels{"result": "scanned"}),
+		pagesSkipped: reg.Counter("blaeu_scan_pages_total",
+			"Pages visited by streaming scans, by outcome.",
+			obs.Labels{"result": "skipped"}),
+		batches: reg.Counter("blaeu_scan_batches_total",
+			"Batches emitted by streaming scans.", nil),
+	}
+}
+
+func (m *ScanMetrics) addPages(scanned, skipped int) {
+	if m == nil {
+		return
+	}
+	if scanned > 0 {
+		m.pagesScanned.Add(uint64(scanned))
+	}
+	if skipped > 0 {
+		m.pagesSkipped.Add(uint64(skipped))
+	}
+}
+
+func (m *ScanMetrics) addBatches(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.batches.Add(uint64(n))
+}
+
+// scanPlan is the resolved form of a ScanSpec against one relation:
+// page geometry, projection columns, zone-map skips and metrics sink.
+type scanPlan struct {
+	r       Relation
+	spec    ScanSpec
+	cols    []Column // resolved projection, parallel to spec.Cols
+	rpp     int      // rows per page (batch granularity)
+	np      int      // page count
+	n       int      // relation row count
+	skips   []func(pi int) bool
+	metrics *ScanMetrics
+}
+
+// Scan starts a streaming batch scan of r. Spec errors (unknown
+// projection column, a Rows set that is not strictly ascending or out
+// of range) surface through Scanner.Err after Next returns false.
+func Scan(r Relation, spec ScanSpec) *Scanner {
+	pl, err := newScanPlan(r, spec)
+	if err != nil {
+		return &Scanner{err: err}
+	}
+	s := &Scanner{limit: spec.Limit}
+	w := spec.Workers
+	if w > pl.np {
+		w = pl.np
+	}
+	if w < 2 {
+		s.seq = pl.newRangeIter(0, pl.np)
+		return s
+	}
+	s.cancel = make(chan struct{})
+	s.workers = make([]chan Batch, w)
+	base, rem := pl.np/w, pl.np%w
+	p0 := 0
+	for wi := 0; wi < w; wi++ {
+		p1 := p0 + base
+		if wi < rem {
+			p1++
+		}
+		ch := make(chan Batch, 2)
+		s.workers[wi] = ch
+		go func(it *rangeIter, ch chan Batch) {
+			defer close(ch)
+			for {
+				b, ok := it.next()
+				if !ok {
+					break
+				}
+				select {
+				case ch <- b:
+				case <-s.cancel:
+					it.flush()
+					return
+				}
+			}
+			it.flush()
+		}(pl.newRangeIter(p0, p1), ch)
+		p0 = p1
+	}
+	return s
+}
+
+// Scanner pulls batches from a scan. Not safe for concurrent use; the
+// consumer must either drain it or Close it so parallel workers exit.
+type Scanner struct {
+	seq     *rangeIter   // sequential mode
+	workers []chan Batch // parallel mode, one channel per page range
+	cur     int          // worker currently being drained
+	cancel  chan struct{}
+	limit   int
+	emitted int
+	err     error
+	closed  bool
+}
+
+// Next returns the next batch; ok is false at end of scan (check Err).
+func (s *Scanner) Next() (Batch, bool) {
+	if s.err != nil || s.closed {
+		return Batch{}, false
+	}
+	if s.limit > 0 && s.emitted >= s.limit {
+		s.Close()
+		return Batch{}, false
+	}
+	b, ok := s.fetch()
+	if !ok {
+		s.Close()
+		return Batch{}, false
+	}
+	if s.limit > 0 && s.emitted+len(b.Rows) > s.limit {
+		b = truncateBatch(b, s.limit-s.emitted)
+	}
+	s.emitted += len(b.Rows)
+	return b, true
+}
+
+// fetch pulls the next raw batch: straight from the iterator in
+// sequential mode, or from the page ranges in range order — draining
+// range i completely before touching range i+1 is what makes the
+// parallel merge order-preserving.
+func (s *Scanner) fetch() (Batch, bool) {
+	if s.seq != nil {
+		return s.seq.next()
+	}
+	for s.cur < len(s.workers) {
+		b, ok := <-s.workers[s.cur]
+		if ok {
+			return b, true
+		}
+		s.cur++
+	}
+	return Batch{}, false
+}
+
+// Err reports the first spec error; nil for a clean scan.
+func (s *Scanner) Err() error { return s.err }
+
+// Close releases the scan early: parallel workers are cancelled (and
+// drained so their counters flush), the sequential iterator flushes
+// its counters. Closing a finished or unstarted scanner is a no-op.
+func (s *Scanner) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.seq != nil {
+		s.seq.flush()
+		return
+	}
+	close(s.cancel)
+	for _, ch := range s.workers {
+		for range ch {
+		}
+	}
+}
+
+// Collect drains the scanner into a flat slice of matching row indices
+// (nil when nothing matched) and closes it.
+func (s *Scanner) Collect() []int {
+	var out []int
+	for {
+		b, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, b.Rows...)
+	}
+}
+
+// truncateBatch cuts a batch down to its first k rows (limit tail).
+func truncateBatch(b Batch, k int) Batch {
+	out := Batch{Rows: b.Rows[:k]}
+	if b.Cols != nil {
+		out.Cols = make([]Column, len(b.Cols))
+		for i, c := range b.Cols {
+			out.Cols[i] = c.Slice(0, k)
+		}
+	}
+	return out
+}
+
+func newScanPlan(r Relation, spec ScanSpec) (*scanPlan, error) {
+	pl := &scanPlan{r: r, spec: spec, n: r.NumRows(), rpp: defaultScanPageRows}
+	if st, ok := r.(*SegmentTable); ok {
+		if len(st.cols) > 0 {
+			pl.rpp = st.seg.RowsPerPage()
+		}
+		if spec.Pred != nil {
+			pl.skips = st.pageSkips(spec.Pred)
+		}
+		pl.metrics = st.scanMetrics
+	} else if t, ok := r.(*Table); ok {
+		pl.metrics = t.scanMetrics
+	}
+	pl.np = (pl.n + pl.rpp - 1) / pl.rpp
+	for _, name := range spec.Cols {
+		c := r.ColumnByName(name)
+		if c == nil {
+			return nil, fmt.Errorf("store: scan of %s: no column %q", r.Name(), name)
+		}
+		pl.cols = append(pl.cols, c)
+	}
+	if spec.Rows != nil {
+		prev := -1
+		for _, i := range spec.Rows {
+			if i <= prev || i >= pl.n {
+				return nil, fmt.Errorf("store: scan of %s: row set must be strictly ascending and within [0, %d)", r.Name(), pl.n)
+			}
+			prev = i
+		}
+	}
+	return pl, nil
+}
+
+// rangeIter walks one contiguous page range, producing one batch per
+// page that yields matches. It is the scan core shared by sequential
+// scans (one iter over all pages) and parallel workers (one iter per
+// range); each iter compiles its own matcher, because compiled
+// matchers keep per-goroutine page cursors.
+type rangeIter struct {
+	pl                        *scanPlan
+	m                         func(i int) bool
+	pi, p1                    int
+	rs                        []int // remaining candidate rows within the range
+	emitted                   int
+	scanned, skipped, batches int
+	flushed                   bool
+}
+
+func (pl *scanPlan) newRangeIter(p0, p1 int) *rangeIter {
+	it := &rangeIter{pl: pl, pi: p0, p1: p1}
+	if pl.spec.Pred != nil {
+		it.m = CompileMatcher(pl.r, pl.spec.Pred)
+	}
+	if pl.spec.Rows != nil {
+		rows := pl.spec.Rows
+		lo := splitBefore(rows, p0*pl.rpp)
+		hi := splitBefore(rows, p1*pl.rpp)
+		it.rs = rows[lo:hi]
+	}
+	return it
+}
+
+// next advances to the next page with matches and returns its batch.
+func (it *rangeIter) next() (Batch, bool) {
+	pl := it.pl
+	for it.pi < it.p1 {
+		if pl.spec.Limit > 0 && it.emitted >= pl.spec.Limit {
+			break
+		}
+		pi := it.pi
+		it.pi++
+		lo := pi * pl.rpp
+		hi := lo + pl.rpp
+		if hi > pl.n {
+			hi = pl.n
+		}
+		// Candidate rows of this page. The row set advances past the
+		// page before any skip, so zone-map skips cannot desync it.
+		var cand []int
+		if pl.spec.Rows != nil {
+			k := splitBefore(it.rs, hi)
+			cand = it.rs[:k]
+			it.rs = it.rs[k:]
+			if len(cand) == 0 {
+				it.skipped++
+				continue
+			}
+		}
+		if it.zoneSkip(pi) {
+			it.skipped++
+			continue
+		}
+		it.scanned++
+		var dst []int
+		var nm int
+		if cand != nil {
+			dst = make([]int, len(cand))
+			if it.m == nil {
+				nm = copy(dst, cand)
+			} else {
+				nm = collectRows(it.m, cand, dst)
+			}
+		} else {
+			dst = make([]int, hi-lo)
+			if it.m == nil {
+				nm = fillSeq(lo, hi, dst)
+			} else {
+				nm = collectSeq(it.m, lo, hi, dst)
+			}
+		}
+		if nm == 0 {
+			continue
+		}
+		b := Batch{Rows: dst[:nm:nm]}
+		if len(pl.cols) > 0 {
+			b.Cols = make([]Column, len(pl.cols))
+			for i, c := range pl.cols {
+				b.Cols[i] = c.Gather(b.Rows)
+			}
+		}
+		it.emitted += nm
+		it.batches++
+		return b, true
+	}
+	it.flush()
+	return Batch{}, false
+}
+
+// zoneSkip applies the plan's page-exclusion tests.
+func (it *rangeIter) zoneSkip(pi int) bool {
+	for _, skip := range it.pl.skips {
+		if skip(pi) {
+			return true
+		}
+	}
+	return false
+}
+
+// flush publishes the iter's counters (idempotent; bulk adds keep the
+// atomics off the per-page path).
+func (it *rangeIter) flush() {
+	if it.flushed {
+		return
+	}
+	it.flushed = true
+	it.pl.metrics.addPages(it.scanned, it.skipped)
+	it.pl.metrics.addBatches(it.batches)
+}
+
+// splitBefore returns the count of leading entries of rows below bound
+// (rows ascending) — the boundary used to slice a row set at a page or
+// range edge.
+//
+//blaeu:hot
+func splitBefore(rows []int, bound int) int {
+	lo, hi := 0, len(rows)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if rows[mid] < bound {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// collectSeq is the batch cursor's inner loop over a full page: row
+// indices [lo, hi) matching m are written into dst (len >= hi-lo).
+//
+//blaeu:hot
+func collectSeq(m func(i int) bool, lo, hi int, dst []int) int {
+	n := 0
+	for i := lo; i < hi; i++ {
+		if m(i) {
+			dst[n] = i
+			n++
+		}
+	}
+	return n
+}
+
+// collectRows is collectSeq over an explicit candidate row set.
+//
+//blaeu:hot
+func collectRows(m func(i int) bool, cand []int, dst []int) int {
+	n := 0
+	for _, i := range cand {
+		if m(i) {
+			dst[n] = i
+			n++
+		}
+	}
+	return n
+}
+
+// fillSeq writes [lo, hi) into dst — the no-predicate page batch.
+//
+//blaeu:hot
+func fillSeq(lo, hi int, dst []int) int {
+	for i := lo; i < hi; i++ {
+		dst[i-lo] = i
+	}
+	return hi - lo
+}
+
+// ---------------------------------------------------------------------------
+// Scan-backed operators
+
+// FilterLimit returns the first limit row indices matching p, in
+// ascending order — Filter with limit pushdown, so the scan stops as
+// soon as the quota is met instead of running to EOF (limit <= 0 keeps
+// Filter semantics).
+func FilterLimit(r Relation, p Predicate, limit int) []int {
+	return Scan(r, ScanSpec{Pred: p, Limit: limit}).Collect()
+}
+
+// WhereLimit materializes the first limit rows matching p — the
+// Head-shaped form of Where.
+func WhereLimit(r Relation, p Predicate, limit int) *Table {
+	return gatherRelation(r, FilterLimit(r, p, limit))
+}
+
+// ScanRows filters an ascending row set through the scan path:
+// identical output to FilterRows, but pages outside the row set or
+// excluded by zone maps are never read, and workers > 1 splits the
+// scan into parallel page ranges. Falls back to FilterRows when the
+// row set does not satisfy the scan contract.
+func ScanRows(r Relation, p Predicate, rows []int, workers int) []int {
+	if len(rows) == 0 {
+		return nil
+	}
+	sc := Scan(r, ScanSpec{Pred: p, Rows: rows, Workers: workers})
+	out := sc.Collect()
+	if sc.Err() != nil {
+		return FilterRows(r, p, rows)
+	}
+	return out
+}
+
+// ScanGather materializes the named columns of an ascending row set
+// into an in-memory table — Gather with projection pushdown, built
+// batch-at-a-time so only the requested columns are ever decoded.
+func ScanGather(r Relation, rows []int, cols []string, workers int) (*Table, error) {
+	if rows == nil {
+		// An explicit row set is the contract; nil means empty, not all.
+		rows = []int{}
+	}
+	sc := Scan(r, ScanSpec{Cols: cols, Rows: rows, Workers: workers})
+	out := NewTable(r.Name())
+	builders := make([]Column, len(cols))
+	total := 0
+	for {
+		b, ok := sc.Next()
+		if !ok {
+			break
+		}
+		total += len(b.Rows)
+		for i, c := range b.Cols {
+			if builders[i] == nil {
+				builders[i] = c
+				continue
+			}
+			var err error
+			builders[i], err = appendColumn(builders[i], c)
+			if err != nil {
+				sc.Close()
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for i, c := range builders {
+		if c == nil {
+			// No batch materialized (empty row set): gather an empty
+			// column of the right shape.
+			c = r.ColumnByName(cols[i]).Gather(nil)
+		}
+		out.MustAddColumn(c)
+	}
+	if len(cols) == 0 {
+		out.numRows = total
+	}
+	return out, nil
+}
+
+// gatherRelation is Gather over the Relation seam (both backings
+// implement Gather; the interface keeps callers backing-agnostic).
+func gatherRelation(r Relation, rows []int) *Table {
+	type gatherer interface{ Gather(rows []int) *Table }
+	if g, ok := r.(gatherer); ok {
+		return g.Gather(rows)
+	}
+	out := NewTable(r.Name())
+	for i := 0; i < r.NumCols(); i++ {
+		out.MustAddColumn(r.Column(i).Gather(rows))
+	}
+	if r.NumCols() == 0 {
+		out.numRows = len(rows)
+	}
+	return out
+}
+
+// appendColumn concatenates src onto dst. Batch columns are the
+// in-memory concrete types (both backings' Gather produce them), so
+// the typed fast paths cover every scan; the generic tail handles
+// foreign Column implementations.
+func appendColumn(dst, src Column) (Column, error) {
+	switch d := dst.(type) {
+	case *FloatColumn:
+		s, ok := src.(*FloatColumn)
+		if !ok {
+			break
+		}
+		for i := 0; i < s.Len(); i++ {
+			if s.IsNull(i) {
+				d.AppendNull()
+			} else {
+				d.Append(s.vals[i])
+			}
+		}
+		return d, nil
+	case *IntColumn:
+		s, ok := src.(*IntColumn)
+		if !ok {
+			break
+		}
+		for i := 0; i < s.Len(); i++ {
+			if s.IsNull(i) {
+				d.AppendNull()
+			} else {
+				d.Append(s.vals[i])
+			}
+		}
+		return d, nil
+	case *StringColumn:
+		s, ok := src.(*StringColumn)
+		if !ok {
+			break
+		}
+		for i := 0; i < s.Len(); i++ {
+			if s.IsNull(i) {
+				d.AppendNull()
+			} else {
+				d.Append(s.Value(i))
+			}
+		}
+		return d, nil
+	case *BoolColumn:
+		s, ok := src.(*BoolColumn)
+		if !ok {
+			break
+		}
+		for i := 0; i < s.Len(); i++ {
+			if s.IsNull(i) {
+				d.AppendNull()
+			} else {
+				d.Append(s.Value(i))
+			}
+		}
+		return d, nil
+	}
+	if dst.Type() != src.Type() {
+		return nil, fmt.Errorf("store: scan batch column %q changed type mid-stream", dst.Name())
+	}
+	for i := 0; i < src.Len(); i++ {
+		switch {
+		case src.IsNull(i):
+			dst.AppendNull()
+		case dst.Type() == String:
+			sc, ok := dst.(*StringColumn)
+			if !ok {
+				return nil, fmt.Errorf("store: cannot append to column %q", dst.Name())
+			}
+			sc.Append(src.StringAt(i))
+		default:
+			fc, ok := dst.(*FloatColumn)
+			if !ok {
+				return nil, fmt.Errorf("store: cannot append to column %q", dst.Name())
+			}
+			fc.Append(src.Float(i))
+		}
+	}
+	return dst, nil
+}

@@ -1,0 +1,233 @@
+package store
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// scanWorkerCounts exercises sequential (0, 1) and parallel merges,
+// including more workers than pages have remainders for.
+var scanWorkerCounts = []int{0, 1, 2, 3, 7}
+
+// scanTestPred matches roughly half the rows through a conjunction
+// with both a zone-mappable numeric leaf and a dictionary leaf.
+func scanTestPred() Predicate {
+	return And{
+		NumCmp{Col: "x", Op: Gt, Val: -5},
+		StrEq{Col: "label", Val: "beta", Neq: true},
+	}
+}
+
+func TestScanMatchesFilter(t *testing.T) {
+	mem, seg := openBoth(t, 500, 1<<20)
+	for _, r := range []Relation{mem, seg} {
+		want := FilterRows(r, scanTestPred(), rangeRows(0, r.NumRows()))
+		for _, w := range scanWorkerCounts {
+			got := Scan(r, ScanSpec{Pred: scanTestPred(), Workers: w}).Collect()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%T workers=%d: scan returned %d rows, want %d (first diff near %v)", r, w, len(got), len(want), got[:min(5, len(got))])
+			}
+			// Predicate-free scan enumerates every row.
+			all := Scan(r, ScanSpec{Workers: w}).Collect()
+			if !reflect.DeepEqual(all, rangeRows(0, r.NumRows())) {
+				t.Fatalf("%T workers=%d: full scan wrong", r, w)
+			}
+		}
+	}
+}
+
+func TestScanRowSetPushdown(t *testing.T) {
+	mem, seg := openBoth(t, 500, 1<<20)
+	// A sparse ascending row set spanning page gaps (rpp=64 on the
+	// segment): pages with no candidates must not affect output.
+	var rows []int
+	for i := 3; i < 500; i += 17 {
+		rows = append(rows, i)
+	}
+	for _, r := range []Relation{mem, seg} {
+		want := FilterRows(r, scanTestPred(), rows)
+		for _, w := range scanWorkerCounts {
+			got := ScanRows(r, scanTestPred(), rows, w)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%T workers=%d: ScanRows mismatch: %d vs %d rows", r, w, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestScanLimit(t *testing.T) {
+	mem, seg := openBoth(t, 500, 1<<20)
+	for _, r := range []Relation{mem, seg} {
+		full := r.Filter(scanTestPred())
+		for _, limit := range []int{1, 7, 64, len(full), len(full) + 10} {
+			want := full
+			if limit < len(full) {
+				want = full[:limit]
+			}
+			for _, w := range scanWorkerCounts {
+				got := Scan(r, ScanSpec{Pred: scanTestPred(), Limit: limit, Workers: w}).Collect()
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%T workers=%d limit=%d: got %d rows, want %d", r, w, limit, len(got), len(want))
+				}
+			}
+			if got := FilterLimit(r, scanTestPred(), limit); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%T FilterLimit(%d): got %d rows, want %d", r, limit, len(got), len(want))
+			}
+		}
+		// WhereLimit materializes exactly the first k matches.
+		wl := WhereLimit(r, scanTestPred(), 9)
+		want := gatherRelation(r, full[:min(9, len(full))])
+		assertRelationsEqual(t, want, wl)
+	}
+}
+
+func TestScanGatherProjection(t *testing.T) {
+	mem, seg := openBoth(t, 500, 1<<20)
+	var rows []int
+	for i := 1; i < 500; i += 7 {
+		rows = append(rows, i)
+	}
+	cols := []string{"x", "label"}
+	for _, r := range []Relation{mem, seg} {
+		want, err := gatherRelation(r, rows).Project(cols...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range scanWorkerCounts {
+			got, err := ScanGather(r, rows, cols, w)
+			if err != nil {
+				t.Fatalf("%T workers=%d: %v", r, w, err)
+			}
+			assertRelationsEqual(t, want, got)
+		}
+		// Empty row set materializes empty columns of the right shape.
+		empty, err := ScanGather(r, nil, cols, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if empty.NumRows() != 0 || empty.NumCols() != len(cols) {
+			t.Fatalf("%T: empty ScanGather got %d×%d", r, empty.NumRows(), empty.NumCols())
+		}
+	}
+}
+
+func TestScanSpecErrors(t *testing.T) {
+	mem, seg := openBoth(t, 200, 1<<20)
+	for _, r := range []Relation{mem, seg} {
+		if sc := Scan(r, ScanSpec{Cols: []string{"nope"}}); sc.Err() == nil {
+			t.Fatalf("%T: unknown column not rejected", r)
+		}
+		if sc := Scan(r, ScanSpec{Rows: []int{5, 3}}); sc.Err() == nil {
+			t.Fatalf("%T: descending row set not rejected", r)
+		}
+		if sc := Scan(r, ScanSpec{Rows: []int{0, r.NumRows()}}); sc.Err() == nil {
+			t.Fatalf("%T: out-of-range row not rejected", r)
+		}
+		if _, err := ScanGather(r, []int{0}, []string{"nope"}, 1); err == nil {
+			t.Fatalf("%T: ScanGather unknown column not rejected", r)
+		}
+		// ScanRows falls back to FilterRows on contract violations.
+		unsorted := []int{9, 1, 4}
+		want := FilterRows(r, True{}, unsorted)
+		if got := ScanRows(r, True{}, unsorted, 1); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%T: ScanRows fallback mismatch", r)
+		}
+	}
+}
+
+func TestScanMetricsCounters(t *testing.T) {
+	_, seg := openBoth(t, 500, 1<<20)
+	reg := obs.NewRegistry()
+	seg.SetScanMetrics(NewScanMetrics(reg))
+	scanned := reg.Counter("blaeu_scan_pages_total", "", obs.Labels{"result": "scanned"})
+	skipped := reg.Counter("blaeu_scan_pages_total", "", obs.Labels{"result": "skipped"})
+	batches := reg.Counter("blaeu_scan_batches_total", "", nil)
+	np := seg.Segment().NumPages()
+
+	// A predicate no zone map can satisfy skips every page.
+	seg.Filter(NumCmp{Col: "x", Op: Gt, Val: 1e12})
+	if got := skipped.Value(); got != uint64(np) {
+		t.Fatalf("impossible predicate: skipped %d pages, want %d", got, np)
+	}
+	if got := scanned.Value(); got != 0 {
+		t.Fatalf("impossible predicate scanned %d pages", got)
+	}
+
+	// A full scan visits every page and emits one batch per page.
+	s0, b0 := scanned.Value(), batches.Value()
+	seg.Filter(True{})
+	if got := scanned.Value() - s0; got != uint64(np) {
+		t.Fatalf("full scan visited %d pages, want %d", got, np)
+	}
+	if got := batches.Value() - b0; got != uint64(np) {
+		t.Fatalf("full scan emitted %d batches, want %d", got, np)
+	}
+
+	// A two-row row set touches exactly its two pages; the rest skip.
+	s0, k0 := scanned.Value(), skipped.Value()
+	ScanRows(seg, True{}, []int{0, seg.NumRows() - 1}, 1)
+	if got := scanned.Value() - s0; got != 2 {
+		t.Fatalf("row-set scan visited %d pages, want 2", got)
+	}
+	if got := skipped.Value() - k0; got != uint64(np-2) {
+		t.Fatalf("row-set scan skipped %d pages, want %d", got, np-2)
+	}
+}
+
+// TestScanConcurrentParallel hammers one shared segment table with
+// concurrent parallel scans and projected gathers — the -race target
+// (make race-scan): compiled matchers are per-goroutine, pages flow
+// through the shared pool, and every result must equal the sequential
+// baseline.
+func TestScanConcurrentParallel(t *testing.T) {
+	mem, seg := openBoth(t, 800, 1<<18)
+	seg.SetScanMetrics(NewScanMetrics(obs.NewRegistry()))
+	pred := scanTestPred()
+	wantRows := mem.Filter(pred)
+	var sample []int
+	for i := 5; i < 800; i += 11 {
+		sample = append(sample, i)
+	}
+	wantSample, err := gatherRelation(mem, sample).Project("x", "count", "label")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			w := 2 + g%3
+			for iter := 0; iter < 5; iter++ {
+				if got := Scan(seg, ScanSpec{Pred: pred, Workers: w}).Collect(); !reflect.DeepEqual(got, wantRows) {
+					errs <- fmt.Errorf("goroutine %d: parallel filter diverged", g)
+					return
+				}
+				got, err := ScanGather(seg, sample, []string{"x", "count", "label"}, w)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got.NumRows() != wantSample.NumRows() {
+					errs <- fmt.Errorf("goroutine %d: gather %d rows, want %d", g, got.NumRows(), wantSample.NumRows())
+					return
+				}
+				// Early Close must not wedge workers or corrupt later scans.
+				sc := Scan(seg, ScanSpec{Pred: pred, Workers: w})
+				sc.Next()
+				sc.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -27,7 +27,15 @@ type SegmentTable struct {
 	cols    []Column
 	colIdx  map[string]int
 	numRows int
+	// scanMetrics, when attached, receives this table's streaming-scan
+	// counters (see SetScanMetrics).
+	scanMetrics *ScanMetrics
 }
+
+// SetScanMetrics attaches the scan-path counters; subsequent Filter
+// and Scan calls report page and batch counts through them. Attach
+// before the table is scanned concurrently.
+func (t *SegmentTable) SetScanMetrics(m *ScanMetrics) { t.scanMetrics = m }
 
 // OpenSegmentTable opens a segment file with a private buffer pool of
 // pageBudget bytes.
@@ -200,45 +208,12 @@ func (t *SegmentTable) Head(n int) *Table {
 	return t.Gather(rows)
 }
 
-// Filter implements Relation with a vectorized page-level scan: the
+// Filter implements Relation on the streaming scan path: the
 // predicate is compiled once (columns resolved, constants mapped to
 // dictionary codes), and per-page min/max, null-count stats skip pages
 // that cannot contain matches without reading them.
 func (t *SegmentTable) Filter(p Predicate) []int {
-	if len(t.cols) == 0 {
-		// No pages to scan; evaluate the predicate per row directly.
-		var out []int
-		for i := 0; i < t.numRows; i++ {
-			if p.Matches(t, i) {
-				out = append(out, i)
-			}
-		}
-		return out
-	}
-	skips := t.pageSkips(p)
-	m := CompileMatcher(t, p)
-	rpp := t.seg.RowsPerPage()
-	np := t.seg.NumPages()
-	var out []int
-page:
-	for pi := 0; pi < np; pi++ {
-		for _, skip := range skips {
-			if skip(pi) {
-				continue page
-			}
-		}
-		lo := pi * rpp
-		hi := lo + rpp
-		if hi > t.numRows {
-			hi = t.numRows
-		}
-		for i := lo; i < hi; i++ {
-			if m(i) {
-				out = append(out, i)
-			}
-		}
-	}
-	return out
+	return Scan(t, ScanSpec{Pred: p}).Collect()
 }
 
 // Where implements Relation.

@@ -159,12 +159,22 @@ func Execute(q *Query, cat Catalog) (*Table, error) {
 	if t == nil {
 		return nil, fmt.Errorf("store: no table %q", q.Table)
 	}
-	// Selection.
+	// Selection. Without an ORDER BY the first Limit matches are the
+	// result, so the limit pushes into the scan and it stops at quota
+	// instead of running to EOF.
+	noOrder := len(q.OrderBy) == 0
 	var rows []int
-	if q.Where != nil {
+	switch {
+	case q.Where != nil && noOrder && q.Limit > 0:
+		rows = FilterLimit(t, q.Where, q.Limit)
+	case q.Where != nil:
 		rows = t.Filter(q.Where)
-	} else {
-		rows = make([]int, t.NumRows())
+	default:
+		n := t.NumRows()
+		if noOrder && q.Limit > 0 && q.Limit < n {
+			n = q.Limit
+		}
+		rows = make([]int, n)
 		for i := range rows {
 			rows[i] = i
 		}

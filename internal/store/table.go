@@ -33,7 +33,15 @@ type Table struct {
 	cols    []Column
 	colIdx  map[string]int
 	numRows int
+	// scanMetrics, when attached, receives this table's streaming-scan
+	// counters (see SetScanMetrics).
+	scanMetrics *ScanMetrics
 }
+
+// SetScanMetrics attaches the scan-path counters; subsequent Filter
+// and Scan calls report page and batch counts through them. Attach
+// before the table is scanned concurrently.
+func (t *Table) SetScanMetrics(m *ScanMetrics) { t.scanMetrics = m }
 
 // NewTable returns an empty table with the given name.
 func NewTable(name string) *Table {
@@ -179,18 +187,11 @@ func (t *Table) Head(n int) *Table {
 }
 
 // Filter returns the indices of rows matching the predicate, in order.
-// The predicate is compiled once (columns resolved out of the row
-// loop, string constants mapped to dictionary codes) rather than
-// re-evaluated through Predicate.Matches per row.
+// It runs on the streaming scan path: the predicate is compiled once
+// (columns resolved out of the row loop, string constants mapped to
+// dictionary codes) and rows are collected batch-at-a-time.
 func (t *Table) Filter(p Predicate) []int {
-	m := CompileMatcher(t, p)
-	var out []int
-	for i := 0; i < t.numRows; i++ {
-		if m(i) {
-			out = append(out, i)
-		}
-	}
-	return out
+	return Scan(t, ScanSpec{Pred: p}).Collect()
 }
 
 // Where returns a new materialized table of the rows matching the predicate.
